@@ -1,0 +1,185 @@
+// Ablation study over the design choices DESIGN.md calls out:
+//  (1) bound multiplier C in mu +/- C sigma;
+//  (2) importance mapping 1/log(2+sigma) vs alternatives;
+//  (3) which projections to keep (all / low-variance / high-variance) —
+//      the paper's "opposite of classic PCA" point;
+//  (4) disjunctions on vs off for local drift (EVL 4CR);
+//  (5) linear vs degree-2 kernelized constraints on a nonlinear stream.
+//
+// Metric: separation = violation(drifted) - violation(held-out clean);
+// higher is better. False-alarm proxy = violation(held-out clean).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/drift.h"
+#include "core/kernel.h"
+#include "core/synthesizer.h"
+#include "core/tree.h"
+#include "synth/evl.h"
+#include "synth/har.h"
+
+namespace {
+
+using namespace ccs;  // NOLINT
+
+struct Scenario {
+  dataframe::DataFrame train;
+  dataframe::DataFrame clean;    // Held-out, same distribution.
+  dataframe::DataFrame drifted;  // Off-profile.
+};
+
+Scenario HarScenario(uint64_t seed) {
+  Rng rng(seed);
+  auto persons = synth::HarPersons(6);
+  Scenario s;
+  s.train = *synth::GenerateHar(persons, synth::SedentaryActivities(), 80,
+                                &rng);
+  s.clean = *synth::GenerateHar(persons, synth::SedentaryActivities(), 40,
+                                &rng);
+  s.drifted =
+      *synth::GenerateHar(persons, synth::MobileActivities(), 40, &rng);
+  return s;
+}
+
+void Evaluate(const char* label, const core::SynthesisOptions& options,
+              const Scenario& s) {
+  core::ConformanceDriftQuantifier quantifier(options);
+  bench::CheckOk(quantifier.Fit(s.train));
+  double clean = quantifier.Score(s.clean).value();
+  double drifted = quantifier.Score(s.drifted).value();
+  bench::Row(label, {clean, drifted, drifted - clean});
+}
+
+void Run() {
+  bench::Banner("Ablation — design choices of the synthesizer");
+  Scenario har = HarScenario(31);
+
+  std::printf("\n(1) Bound multiplier C (paper: 4)\n");
+  bench::Header("", {"clean", "drifted", "separation"});
+  for (double c : {1.0, 2.0, 4.0, 8.0}) {
+    core::SynthesisOptions options;
+    options.bound_multiplier = c;
+    Evaluate(("  C = " + std::to_string(static_cast<int>(c))).c_str(),
+             options, har);
+  }
+  std::printf(
+      "Check: small C flags clean data too (false alarms); large C shrinks\n"
+      "separation. C = 4 keeps clean ~0 with strong separation.\n");
+
+  std::printf("\n(2) Importance mapping (paper: 1/log(2+sigma))\n");
+  bench::Header("", {"clean", "drifted", "separation"});
+  {
+    core::SynthesisOptions options;
+    options.importance_mapping = core::ImportanceMapping::kInverseLog;
+    Evaluate("  1/log(2+sigma)", options, har);
+    options.importance_mapping = core::ImportanceMapping::kInverseLinear;
+    Evaluate("  1/(1+sigma)", options, har);
+    options.importance_mapping = core::ImportanceMapping::kUniform;
+    Evaluate("  uniform", options, har);
+  }
+
+  std::printf("\n(3) Retained projections (paper keeps ALL, weighted)\n");
+  bench::Header("", {"clean", "drifted", "separation"});
+  {
+    core::SynthesisOptions options;
+    options.projection_filter = core::ProjectionFilter::kAll;
+    Evaluate("  all", options, har);
+    options.projection_filter = core::ProjectionFilter::kLowVarianceHalf;
+    Evaluate("  low-variance half", options, har);
+    options.projection_filter = core::ProjectionFilter::kHighVarianceHalf;
+    Evaluate("  high-variance half", options, har);
+    options.projection_filter = core::ProjectionFilter::kMinimumVarianceOnly;
+    Evaluate("  min-variance only (TLS)", options, har);
+  }
+  std::printf(
+      "Check: low-variance half ~ all >> high-variance half — the paper's\n"
+      "core claim that LOW-variance components carry the signal. The\n"
+      "single TLS-style projection (Appendix L) can separate strongly when\n"
+      "one invariant dominates (as here) but pays ~15x the clean-data\n"
+      "violation (false alarms) and captures only one aspect: drift in any\n"
+      "other direction is invisible to it.\n");
+
+  std::printf("\n(4) Disjunctions on local drift (EVL 4CR, t=0 vs t=0.5)\n");
+  bench::Header("", {"clean", "drifted", "separation"});
+  {
+    Rng rng(37);
+    Scenario local;
+    local.train = *synth::GenerateEvlWindow("4CR", 0.0, 1500, &rng);
+    local.clean = *synth::GenerateEvlWindow("4CR", 0.0, 700, &rng);
+    local.drifted = *synth::GenerateEvlWindow("4CR", 0.5, 700, &rng);
+    core::SynthesisOptions options;
+    options.include_disjunctive = true;
+    Evaluate("  with disjunctions", options, local);
+    options.include_disjunctive = false;
+    Evaluate("  global only", options, local);
+    std::printf(
+        "Check: with disjunctions the class swap is caught; global-only\n"
+        "barely moves (the union distribution is unchanged).\n");
+  }
+
+  std::printf("\n(5) Linear vs degree-2 kernel on a circular invariant\n");
+  bench::Header("", {"clean", "drifted", "separation"});
+  {
+    Rng rng(41);
+    auto ring = [&](double radius, size_t n) {
+      std::vector<double> x(n), y(n);
+      for (size_t i = 0; i < n; ++i) {
+        double theta = rng.Uniform(0.0, 6.28318);
+        double r = radius + rng.Gaussian(0.0, 0.05);
+        x[i] = r * std::cos(theta);
+        y[i] = r * std::sin(theta);
+      }
+      dataframe::DataFrame df;
+      CCS_CHECK(df.AddNumericColumn("x", std::move(x)).ok());
+      CCS_CHECK(df.AddNumericColumn("y", std::move(y)).ok());
+      return df;
+    };
+    Scenario circle;
+    circle.train = ring(5.0, 1200);
+    circle.clean = ring(5.0, 500);
+    circle.drifted = ring(3.0, 500);  // Inner ring: nonlinear drift.
+
+    core::SynthesisOptions options;
+    Evaluate("  linear", options, circle);
+
+    Scenario expanded;
+    expanded.train = *core::ExpandPolynomial(circle.train);
+    expanded.clean = *core::ExpandPolynomial(circle.clean);
+    expanded.drifted = *core::ExpandPolynomial(circle.drifted);
+    Evaluate("  degree-2 kernel", options, expanded);
+    std::printf(
+        "Check: linear constraints cannot see the radius change; the\n"
+        "degree-2 expansion (x^2 + y^2 invariant) separates cleanly.\n");
+  }
+
+  std::printf(
+      "\n(6) Flat disjunctions vs decision-tree constraints (§8 extension)\n");
+  bench::Header("", {"clean", "drifted", "separation"});
+  {
+    // HAR scenario again: the tree splits on activity (and person where
+    // useful) instead of taking every categorical attribute at once.
+    Scenario s = HarScenario(43);
+    core::SynthesisOptions options;
+    Evaluate("  flat (paper §4.2)", options, s);
+
+    core::TreeOptions tree_options;
+    tree_options.max_depth = 2;
+    auto tree = core::ConstraintTree::Fit(s.train, tree_options);
+    bench::CheckOk(tree.status());
+    double clean = tree->MeanViolation(s.clean).value();
+    double drifted = tree->MeanViolation(s.drifted).value();
+    bench::Row("  constraint tree", {clean, drifted, drifted - clean});
+    std::printf(
+        "Check: the tree matches or beats the flat profile by routing each\n"
+        "tuple to the constraint of its own (person, activity) context.\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

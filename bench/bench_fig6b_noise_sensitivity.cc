@@ -1,0 +1,88 @@
+// Reproduces Fig. 6(b): noise sensitivity. Mixing mobile-activity tuples
+// into the sedentary TRAINING set weakens the constraints (violation of a
+// fixed mobile serving set falls) while also making the classifier more
+// robust (accuracy-drop falls) — the two stay correlated.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/drift.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "stats/correlation.h"
+#include "synth/har.h"
+
+namespace {
+
+using namespace ccs;  // NOLINT
+
+std::vector<std::string> PersonLabels(const dataframe::DataFrame& df) {
+  return df.ColumnByName("person").value()->categorical_data();
+}
+
+void Run() {
+  bench::Banner(
+      "Fig. 6(b) — HAR noise sensitivity: training-noise % vs constraint\n"
+      "violation of mobile serving data and classifier accuracy-drop");
+
+  Rng rng(13);
+  auto persons = synth::HarPersons(8);
+  auto sedentary =
+      synth::GenerateHar(persons, synth::SedentaryActivities(), 120, &rng);
+  auto mobile_pool =
+      synth::GenerateHar(persons, synth::MobileActivities(), 180, &rng);
+  auto serving =
+      synth::GenerateHar(persons, synth::MobileActivities(), 80, &rng);
+  bench::CheckOk(sedentary.status());
+  bench::CheckOk(mobile_pool.status());
+  bench::CheckOk(serving.status());
+
+  bench::Header("training noise (%)", {"violation", "acc-drop"});
+  linalg::Vector violations(6), drops(6);
+  int idx = 0;
+  for (double noise : {0.05, 0.15, 0.25, 0.35, 0.45, 0.55}) {
+    size_t total = 1500;
+    auto n_noise = static_cast<size_t>(noise * total);
+    auto train = sedentary->Sample(total - n_noise, &rng)
+                     .Concat(mobile_pool->Sample(n_noise, &rng));
+    bench::CheckOk(train.status());
+
+    core::ConformanceDriftQuantifier quantifier;
+    bench::CheckOk(quantifier.Fit(train->DropColumns({"person"}).value()));
+    double violation =
+        quantifier.Score(serving->DropColumns({"person"}).value()).value();
+
+    auto model =
+        ml::LogisticRegression::Fit(train->NumericMatrix(),
+                                    PersonLabels(*train));
+    bench::CheckOk(model.status());
+    auto train_pred = model->PredictAll(train->NumericMatrix());
+    auto serve_pred = model->PredictAll(serving->NumericMatrix());
+    bench::CheckOk(train_pred.status());
+    bench::CheckOk(serve_pred.status());
+    double drop = ml::Accuracy(PersonLabels(*train), *train_pred).value() -
+                  ml::Accuracy(PersonLabels(*serving), *serve_pred).value();
+
+    violations[idx] = violation;
+    drops[idx] = drop;
+    ++idx;
+    bench::Row("  " + std::to_string(static_cast<int>(noise * 100)),
+               {violation, drop});
+  }
+
+  auto test = stats::PearsonTest(violations, drops);
+  bench::CheckOk(test.status());
+  std::printf("\npcc(violation, accuracy-drop) = %.3f (p = %.2e)\n",
+              test->pcc, test->p_value);
+  std::printf(
+      "Paper: both fall as training noise grows; pcc = 0.82 (p = 0.002).\n"
+      "Check: decreasing trend in both columns; positive pcc persists.\n");
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Fig. 6(c): gradual LOCAL drift on HAR. Starting from a
+// snapshot where each person performs one fixed activity, K = 1..15
+// people switch activities one at a time. CCSynth (disjunctive
+// constraints: "who is doing what") tracks the drift; global W-PCA only
+// sees the aggregate activity pool, which barely changes.
+
+#include <cstdio>
+
+#include "baselines/wpca.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "synth/har.h"
+
+namespace {
+
+using namespace ccs;  // NOLINT
+
+constexpr size_t kPersons = 15;
+constexpr size_t kRowsPerPerson = 80;
+
+// Snapshot where person i performs activities[assignment[i]].
+dataframe::DataFrame Snapshot(const std::vector<std::string>& persons,
+                              const std::vector<size_t>& assignment,
+                              Rng* rng) {
+  auto activities = synth::AllActivities();
+  dataframe::DataFrame out;
+  for (size_t i = 0; i < persons.size(); ++i) {
+    auto part = synth::GenerateHar(
+        {persons[i]}, {activities[assignment[i] % activities.size()]},
+        kRowsPerPerson, rng);
+    bench::CheckOk(part.status());
+    if (out.num_rows() == 0) {
+      out = std::move(part).value();
+    } else {
+      auto merged = out.Concat(*part);
+      bench::CheckOk(merged.status());
+      out = std::move(merged).value();
+    }
+  }
+  return out;
+}
+
+void Run() {
+  bench::Banner(
+      "Fig. 6(c) — HAR gradual local drift: K people switch activities\n"
+      "CCSynth (disjunctive) vs W-PCA (global only), avg over 5 runs");
+
+  auto persons = synth::HarPersons(kPersons);
+  bench::Header("K persons switched", {"CCSynth", "W-PCA"});
+
+  const int kRuns = 5;
+  for (size_t k = 1; k <= kPersons; k += 2) {
+    double cc_total = 0.0, wpca_total = 0.0;
+    for (int run = 0; run < kRuns; ++run) {
+      Rng rng(1000 * k + run);
+      // Initial assignment: person i does activity i (mod #activities).
+      std::vector<size_t> initial(kPersons);
+      for (size_t i = 0; i < kPersons; ++i) initial[i] = i;
+      dataframe::DataFrame reference = Snapshot(persons, initial, &rng);
+
+      // First k people switch to the "next" activity.
+      std::vector<size_t> drifted = initial;
+      for (size_t i = 0; i < k; ++i) drifted[i] = initial[i] + 2;
+      dataframe::DataFrame current = Snapshot(persons, drifted, &rng);
+
+      baselines::ConformanceDetector cc;
+      baselines::WeightedPca wpca;
+      bench::CheckOk(cc.Fit(reference));
+      bench::CheckOk(wpca.Fit(reference));
+      cc_total += cc.Score(current).value();
+      wpca_total += wpca.Score(current).value();
+    }
+    bench::Row("  K = " + std::to_string(k),
+               {cc_total / kRuns, wpca_total / kRuns});
+  }
+
+  std::printf(
+      "\nPaper: CCSynth's violation grows steadily with K; W-PCA stays low\n"
+      "and flat (it cannot see who switched, only the global pool).\n"
+      "Check: CCSynth column increases with K and dominates W-PCA.\n");
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Fig. 7: inter-person constraint-violation heat map. Learn
+// per-person disjunctive constraints (over all activities) from half of
+// each person's data; score every person's held-out data against every
+// other person's constraints. The diagonal (self-violation) must be low.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/drift.h"
+#include "synth/har.h"
+
+namespace {
+
+using namespace ccs;  // NOLINT
+
+void Run() {
+  bench::Banner(
+      "Fig. 7 — Inter-person violation heat map (row = profile owner,\n"
+      "column = scored person; activity-wise constraints, averaged)");
+
+  constexpr size_t kPersons = 8;
+  Rng rng(17);
+  auto persons = synth::HarPersons(kPersons);
+  auto activities = synth::AllActivities();
+
+  // Half of each person's data learns their profile; half is scored.
+  std::vector<core::ConformanceDriftQuantifier> profiles(kPersons);
+  std::vector<dataframe::DataFrame> holdouts(kPersons);
+  for (size_t i = 0; i < kPersons; ++i) {
+    auto train = synth::GenerateHar({persons[i]}, activities, 60, &rng);
+    auto test = synth::GenerateHar({persons[i]}, activities, 60, &rng);
+    bench::CheckOk(train.status());
+    bench::CheckOk(test.status());
+    // Keep "activity" (drives the disjunction); drop "person" (constant).
+    bench::CheckOk(
+        profiles[i].Fit(train->DropColumns({"person"}).value()));
+    holdouts[i] = test->DropColumns({"person"}).value();
+  }
+
+  std::vector<std::string> header;
+  for (const auto& p : persons) header.push_back(p);
+  bench::Header("", header);
+  double diagonal_total = 0.0, off_total = 0.0;
+  for (size_t i = 0; i < kPersons; ++i) {
+    std::vector<double> row;
+    for (size_t j = 0; j < kPersons; ++j) {
+      double v = profiles[i].Score(holdouts[j]).value();
+      row.push_back(v);
+      if (i == j) {
+        diagonal_total += v;
+      } else {
+        off_total += v;
+      }
+    }
+    bench::Row(persons[i], row, "%12.3f");
+  }
+
+  double diag_mean = diagonal_total / kPersons;
+  double off_mean = off_total / (kPersons * (kPersons - 1));
+  std::printf("\nmean self-violation (diagonal) = %.4f\n", diag_mean);
+  std::printf("mean cross-violation           = %.4f\n", off_mean);
+  std::printf(
+      "Paper: very low diagonal, clearly higher off-diagonal; some people\n"
+      "are more distinctive than others. Check: diagonal << off-diagonal.\n");
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Reproduces the §6 "Efficiency" claim and the §4.3 complexity analysis
+// with google-benchmark: synthesis cost is LINEAR in the number of rows
+// and CUBIC in the number of attributes (Gram build O(n m^2) + eigen
+// O(m^3)); violation scoring is linear in rows.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/drift.h"
+#include "core/synthesizer.h"
+#include "dataframe/dataframe.h"
+#include "linalg/gram.h"
+
+namespace {
+
+using namespace ccs;  // NOLINT
+
+dataframe::DataFrame MakeData(size_t rows, size_t attrs, uint64_t seed) {
+  Rng rng(seed);
+  dataframe::DataFrame df;
+  for (size_t j = 0; j < attrs; ++j) {
+    std::vector<double> col(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      col[i] = rng.Gaussian(0.0, 1.0 + static_cast<double>(j));
+    }
+    CCS_CHECK(df.AddNumericColumn("a" + std::to_string(j), std::move(col))
+                  .ok());
+  }
+  return df;
+}
+
+// Linear-in-rows: fixed m = 10, sweep n.
+void BM_SynthesisVsRows(benchmark::State& state) {
+  auto rows = static_cast<size_t>(state.range(0));
+  dataframe::DataFrame df = MakeData(rows, 10, 1);
+  core::Synthesizer synth;
+  for (auto _ : state) {
+    auto constraint = synth.SynthesizeSimple(df);
+    benchmark::DoNotOptimize(constraint);
+  }
+  state.SetComplexityN(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SynthesisVsRows)
+    ->RangeMultiplier(4)
+    ->Range(1000, 256000)
+    ->Complexity(benchmark::oN);
+
+// Cubic-in-attributes upper bound: fixed n = 2000, sweep m. (Gram build
+// is O(n m^2); the eigensolve contributes the m^3 term.)
+void BM_SynthesisVsAttributes(benchmark::State& state) {
+  auto attrs = static_cast<size_t>(state.range(0));
+  dataframe::DataFrame df = MakeData(2000, attrs, 2);
+  core::Synthesizer synth;
+  for (auto _ : state) {
+    auto constraint = synth.SynthesizeSimple(df);
+    benchmark::DoNotOptimize(constraint);
+  }
+  state.SetComplexityN(static_cast<int64_t>(attrs));
+}
+BENCHMARK(BM_SynthesisVsAttributes)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Complexity(benchmark::oNCubed);
+
+// Streaming Gram ingestion: O(m^2) per tuple, O(m^2) memory.
+void BM_GramIngestPerTuple(benchmark::State& state) {
+  auto attrs = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  linalg::Vector tuple(attrs);
+  for (size_t j = 0; j < attrs; ++j) tuple[j] = rng.Gaussian();
+  linalg::GramAccumulator gram(attrs);
+  for (auto _ : state) {
+    gram.Add(tuple);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GramIngestPerTuple)->RangeMultiplier(2)->Range(4, 64);
+
+// Violation scoring throughput (tuples/second), m = 10.
+void BM_ViolationScoring(benchmark::State& state) {
+  auto rows = static_cast<size_t>(state.range(0));
+  dataframe::DataFrame train = MakeData(20000, 10, 4);
+  dataframe::DataFrame serving = MakeData(rows, 10, 5);
+  core::ConformanceDriftQuantifier quantifier;
+  CCS_CHECK(quantifier.Fit(train).ok());
+  for (auto _ : state) {
+    auto score = quantifier.Score(serving);
+    benchmark::DoNotOptimize(score);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+  state.SetComplexityN(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ViolationScoring)
+    ->RangeMultiplier(4)
+    ->Range(1000, 64000)
+    ->Complexity(benchmark::oN);
+
+// Disjunctive synthesis adds only a constant factor per partition value.
+void BM_DisjunctiveSynthesis(benchmark::State& state) {
+  auto partitions = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  dataframe::DataFrame df = MakeData(20000, 8, 7);
+  std::vector<std::string> part(20000);
+  for (size_t i = 0; i < part.size(); ++i) {
+    part[i] = "p" + std::to_string(i % partitions);
+  }
+  CCS_CHECK(df.AddCategoricalColumn("part", std::move(part)).ok());
+  core::Synthesizer synth;
+  for (auto _ : state) {
+    auto constraint = synth.Synthesize(df);
+    benchmark::DoNotOptimize(constraint);
+  }
+}
+BENCHMARK(BM_DisjunctiveSynthesis)->RangeMultiplier(2)->Range(2, 32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

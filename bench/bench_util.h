@@ -1,0 +1,46 @@
+// Shared formatting helpers for the figure/table reproduction binaries.
+
+#ifndef CCS_BENCH_BENCH_UTIL_H_
+#define CCS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace ccs::bench {
+
+/// Prints a banner naming the experiment being reproduced.
+inline void Banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints one row of right-aligned numeric cells after a left label.
+inline void Row(const std::string& label, const std::vector<double>& cells,
+                const char* fmt = "%12.4f") {
+  std::printf("%-28s", label.c_str());
+  for (double c : cells) std::printf(fmt, c);
+  std::printf("\n");
+}
+
+/// Prints a header row of column titles aligned with Row's cells.
+inline void Header(const std::string& label,
+                   const std::vector<std::string>& columns) {
+  std::printf("%-28s", label.c_str());
+  for (const std::string& c : columns) std::printf("%12s", c.c_str());
+  std::printf("\n");
+}
+
+/// Aborts with a message if a Status is not OK (benches are top-level
+/// programs; any failure is a bug in the harness).
+inline void CheckOk(const Status& status) {
+  CCS_CHECK(status.ok()) << status.ToString();
+}
+
+}  // namespace ccs::bench
+
+#endif  // CCS_BENCH_BENCH_UTIL_H_

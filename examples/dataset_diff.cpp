@@ -1,0 +1,62 @@
+// Dataset differencing (paper Appendix H): "what changed between last
+// quarter's flights and this quarter's?"
+//
+// Builds two airline datasets where only overnight long-haul routes were
+// added, diffs them, and prints the localized report — plus the
+// decision-tree constraint profile (§8 extension) of the reference data.
+//
+// Run: ./build/examples/dataset_diff
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/datadiff.h"
+#include "core/tree.h"
+#include "synth/airlines.h"
+
+using namespace ccs;  // NOLINT
+
+int main() {
+  Rng rng(5);
+  // Reference quarter: daytime flights only.
+  auto reference =
+      synth::GenerateFlights(synth::FlightKind::kDaytime, 4000, &rng);
+
+  // Current quarter: the same traffic plus a new overnight program.
+  auto daytime =
+      synth::GenerateFlights(synth::FlightKind::kDaytime, 3000, &rng);
+  auto overnight =
+      synth::GenerateFlights(synth::FlightKind::kOvernight, 1000, &rng);
+  auto current = daytime.Concat(overnight);
+  if (!current.ok()) {
+    std::fprintf(stderr, "%s\n", current.status().ToString().c_str());
+    return 1;
+  }
+
+  auto diff = core::DiffDatasets(reference, *current);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "%s\n", diff.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Diff: current quarter vs reference quarter ===\n%s\n",
+              diff->ToString().c_str());
+  std::printf(
+      "Reading the report: the asymmetry (B-against-A >> A-against-B) says\n"
+      "the current quarter contains NEW behaviour the reference never had;\n"
+      "the responsibility ranking points at the schedule attributes\n"
+      "(arr/dep/duration) rather than, say, the day of week.\n\n");
+
+  // Bonus: the decision-tree profile of the reference data.
+  core::TreeOptions options;
+  options.max_depth = 2;
+  auto tree = core::ConstraintTree::Fit(reference, options);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Constraint tree over the reference quarter ===\n%s",
+              tree->ToString().c_str());
+  std::printf("\ntree mean violation on current quarter: %.4f\n",
+              tree->MeanViolation(*current).value());
+  return 0;
+}

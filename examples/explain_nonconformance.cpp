@@ -1,0 +1,65 @@
+// Explaining non-conformance (paper Appendix K / ExTuNe): when serving
+// data drifts, which attributes are responsible?
+//
+// Train on healthy cardiovascular patients; serve diseased patients; the
+// responsibility analysis pins the drift on blood pressure.
+//
+// Run: ./build/examples/explain_nonconformance
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/explain.h"
+#include "synth/tabular.h"
+
+using namespace ccs;  // NOLINT
+
+int main() {
+  Rng rng(3);
+  auto healthy = synth::GenerateCardio(3000, /*diseased=*/false, &rng);
+  auto diseased = synth::GenerateCardio(500, /*diseased=*/true, &rng);
+  if (!healthy.ok() || !diseased.ok()) {
+    std::fprintf(stderr, "generator failure\n");
+    return 1;
+  }
+
+  auto explainer =
+      core::NonConformanceExplainer::FromTrainingData(*healthy);
+  if (!explainer.ok()) {
+    std::fprintf(stderr, "%s\n", explainer.status().ToString().c_str());
+    return 1;
+  }
+
+  // Single-tuple explanation: a hypertensive patient.
+  dataframe::DataFrame probe = diseased->Slice(0, 1);
+  auto tuple_responsibility =
+      explainer->ExplainTuple(probe.NumericRow(0)).value();
+  std::printf("Why is serving tuple 0 non-conforming?\n");
+  for (const auto& r : tuple_responsibility) {
+    if (r.responsibility > 0.0) {
+      std::printf("  %-14s responsibility %.3f\n", r.attribute.c_str(),
+                  r.responsibility);
+    }
+  }
+
+  // Dataset-level attribution, sorted.
+  auto aggregate = explainer->ExplainDataset(*diseased).value();
+  std::sort(aggregate.begin(), aggregate.end(),
+            [](const auto& a, const auto& b) {
+              return a.responsibility > b.responsibility;
+            });
+  std::printf("\nAggregate responsibility over %zu diseased patients:\n",
+              diseased->num_rows());
+  for (const auto& r : aggregate) {
+    std::printf("  %-14s %6.3f  ", r.attribute.c_str(), r.responsibility);
+    for (int i = 0; i < static_cast<int>(r.responsibility * 60); ++i) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nBlood pressure (ap_hi / ap_lo) tops the chart: the diseased\n"
+      "population deviates from the healthy profile chiefly through it.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Data-drift monitoring (paper §6.2): watch a stream of wearable-sensor
+// windows with a StreamMonitor and raise alarms when the activity mix
+// drifts from the reference profile.
+//
+// The monitor is built once from a reference window (sedentary
+// activities); serving windows gradually mix in mobile activities. The
+// incremental synthesizer also maintains a running profile in O(m^2)
+// memory to show the streaming API.
+//
+// Run: ./build/examples/sensor_drift_monitor
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/monitor.h"
+#include "synth/har.h"
+
+using namespace ccs;  // NOLINT
+
+int main() {
+  Rng rng(7);
+  auto persons = synth::HarPersons(6);
+  auto reference =
+      synth::GenerateHar(persons, synth::SedentaryActivities(), 100, &rng);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "%s\n", reference.status().ToString().c_str());
+    return 1;
+  }
+
+  // Serving windows carry sensor readings only, so the reference profile
+  // is learned over the sensors alone (no person/activity metadata).
+  auto monitor = core::StreamMonitor::Create(
+      reference->DropColumns({"person", "activity"}).value(),
+      /*alarm_threshold=*/0.1);
+  if (!monitor.ok()) {
+    std::fprintf(stderr, "%s\n", monitor.status().ToString().c_str());
+    return 1;
+  }
+
+  // Streaming profile maintenance alongside the monitor.
+  std::vector<std::string> sensor_names;
+  for (int j = 0; j < 36; ++j) sensor_names.push_back("s" + std::to_string(j));
+  core::IncrementalSynthesizer profile(sensor_names);
+
+  std::printf("window  mobile%%   drift   alarm\n");
+  for (int w = 0; w < 12; ++w) {
+    double mobile_fraction = w < 4 ? 0.0 : 0.1 * (w - 3);
+    size_t total = 600;
+    auto n_mobile = static_cast<size_t>(mobile_fraction * total);
+    auto sedentary = synth::GenerateHar(
+        persons, synth::SedentaryActivities(), 40, &rng);
+    auto mobile =
+        synth::GenerateHar(persons, synth::MobileActivities(), 40, &rng);
+    auto window = sedentary->Sample(total - n_mobile, &rng)
+                      .Concat(mobile->Sample(n_mobile, &rng))
+                      .value()
+                      .DropColumns({"person", "activity"})
+                      .value();
+
+    auto score = monitor->ObserveWindow(window);
+    if (!score.ok()) {
+      std::fprintf(stderr, "%s\n", score.status().ToString().c_str());
+      return 1;
+    }
+    (void)profile.ObserveAll(window);
+    std::printf("  %2d    %4.0f%%   %6.3f   %s\n", w, mobile_fraction * 100,
+                score->drift, score->alarm ? "*** DRIFT ***" : "-");
+  }
+
+  std::printf("\nObserved %lld tuples; refreshed profile has %zu conjuncts.\n",
+              static_cast<long long>(profile.count()),
+              profile.Synthesize().value().conjuncts().size());
+  std::printf(
+      "Alarms fire once mobile data enters the stream — time to retrain.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// CD: PCA-based change detection for multidimensional streams
+// (Qahtan et al. [63]).
+//
+// Opposite philosophy to the paper: CD projects onto the TOP-k
+// HIGH-variance principal components, estimates a per-component density
+// with histograms on the reference window, and reports the maximum
+// per-component divergence between reference and current densities.
+// Two variants, as in Fig. 8:
+//   CD-Area: divergence = 1 - intersection area of the two densities.
+//   CD-MKL : divergence = max(KL(p||q), KL(q||p)).
+// Because it keeps only high-variance components, CD is noise-sensitive
+// and misses drift in the low-variance directions.
+
+#ifndef CCS_BASELINES_CD_H_
+#define CCS_BASELINES_CD_H_
+
+#include <vector>
+
+#include "baselines/drift_detector.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/histogram.h"
+
+namespace ccs::baselines {
+
+/// Divergence metric used by CD.
+enum class CdMetric {
+  kArea,  ///< 1 - intersection area.
+  kMkl,   ///< Maximum KL divergence (symmetric).
+};
+
+/// Options for CD.
+struct CdOptions {
+  CdMetric metric = CdMetric::kArea;
+  /// Keep top components from the highest variance down while their
+  /// cumulative explained variance is below this fraction.
+  double variance_fraction = 0.99;
+  /// Histogram resolution for the per-component densities.
+  size_t num_bins = 32;
+  /// Laplace smoothing for KL (Area does not need it).
+  double smoothing = 1e-3;
+};
+
+class ChangeDetection : public DriftDetector {
+ public:
+  explicit ChangeDetection(CdOptions options = CdOptions())
+      : options_(options) {}
+
+  std::string name() const override;
+  Status Fit(const dataframe::DataFrame& reference) override;
+  StatusOr<double> Score(const dataframe::DataFrame& window) override;
+
+  size_t num_retained() const { return axes_.rows(); }
+
+ private:
+  CdOptions options_;
+  bool fitted_ = false;
+  linalg::Vector mean_;
+  linalg::Matrix axes_;  // k x m retained high-variance eigenvectors.
+  // Reference density and range per retained component.
+  std::vector<std::vector<double>> reference_density_;
+  std::vector<std::pair<double, double>> ranges_;
+};
+
+}  // namespace ccs::baselines
+
+#endif  // CCS_BASELINES_CD_H_

@@ -1,0 +1,21 @@
+#include "baselines/drift_detector.h"
+
+namespace ccs::baselines {
+
+StatusOr<std::vector<double>> ScoreSeries(
+    DriftDetector* detector,
+    const std::vector<dataframe::DataFrame>& windows) {
+  if (windows.empty()) {
+    return Status::InvalidArgument("ScoreSeries: no windows");
+  }
+  CCS_RETURN_IF_ERROR(detector->Fit(windows[0]));
+  std::vector<double> out;
+  out.reserve(windows.size());
+  for (const dataframe::DataFrame& w : windows) {
+    CCS_ASSIGN_OR_RETURN(double s, detector->Score(w));
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ccs::baselines

@@ -1,0 +1,39 @@
+// Common interface for drift detectors compared in Fig. 8.
+
+#ifndef CCS_BASELINES_DRIFT_DETECTOR_H_
+#define CCS_BASELINES_DRIFT_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::baselines {
+
+/// Fit-on-reference / score-window drift quantifier interface shared by
+/// the baselines and the conformance-constraint method.
+class DriftDetector {
+ public:
+  virtual ~DriftDetector() = default;
+
+  /// Display name ("PCA-SPLL (25%)", "CD-Area", ...).
+  virtual std::string name() const = 0;
+
+  /// Learns the reference profile.
+  virtual Status Fit(const dataframe::DataFrame& reference) = 0;
+
+  /// Drift magnitude of `window` w.r.t. the fitted reference. Larger
+  /// means more drift; scales differ across detectors (Fig. 8 min-max
+  /// normalizes each series).
+  virtual StatusOr<double> Score(const dataframe::DataFrame& window) = 0;
+};
+
+/// Scores every window with a detector fitted on windows[0].
+StatusOr<std::vector<double>> ScoreSeries(
+    DriftDetector* detector, const std::vector<dataframe::DataFrame>& windows);
+
+}  // namespace ccs::baselines
+
+#endif  // CCS_BASELINES_DRIFT_DETECTOR_H_

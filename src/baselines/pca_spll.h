@@ -1,0 +1,54 @@
+// PCA-SPLL drift detection (Kuncheva & Faithfull [51]).
+//
+// Like the paper's method, PCA-SPLL argues LOW-variance principal
+// components are the drift-sensitive ones. It keeps components whose
+// cumulative explained variance stays below a threshold (counting from
+// the smallest), then scores a window by the semi-parametric
+// log-likelihood of its points under the reference Gaussian restricted to
+// that subspace — implemented, as in the original, via the mean squared
+// Mahalanobis distance of window points to the reference mean.
+//
+// Unlike conformance constraints it models a single global distribution:
+// no disjunctions, so purely LOCAL drift (4CR-style class swaps) is
+// invisible to it — the behaviour Fig. 8 exhibits.
+
+#ifndef CCS_BASELINES_PCA_SPLL_H_
+#define CCS_BASELINES_PCA_SPLL_H_
+
+#include "baselines/drift_detector.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace ccs::baselines {
+
+/// Options for PCA-SPLL.
+struct PcaSpllOptions {
+  /// Keep low-variance components while their cumulative explained
+  /// variance is below this fraction (the paper's experiments use 25%).
+  double variance_fraction = 0.25;
+};
+
+class PcaSpll : public DriftDetector {
+ public:
+  explicit PcaSpll(PcaSpllOptions options = PcaSpllOptions())
+      : options_(options) {}
+
+  std::string name() const override;
+  Status Fit(const dataframe::DataFrame& reference) override;
+  StatusOr<double> Score(const dataframe::DataFrame& window) override;
+
+  /// Number of principal components retained by Fit (0 if it kept none —
+  /// the degenerate case the paper calls out where PCA-SPLL goes blind).
+  size_t num_retained() const { return retained_axes_.rows(); }
+
+ private:
+  PcaSpllOptions options_;
+  bool fitted_ = false;
+  linalg::Vector mean_;          // Reference attribute means.
+  linalg::Matrix retained_axes_; // k x m: retained eigenvectors (rows).
+  linalg::Vector retained_var_;  // Variance along each retained axis.
+};
+
+}  // namespace ccs::baselines
+
+#endif  // CCS_BASELINES_PCA_SPLL_H_

@@ -1,0 +1,26 @@
+#include "baselines/wpca.h"
+
+namespace ccs::baselines {
+
+namespace {
+
+core::SynthesisOptions GlobalOnlyOptions() {
+  core::SynthesisOptions options;
+  options.include_global = true;
+  options.include_disjunctive = false;  // The defining W-PCA restriction.
+  return options;
+}
+
+}  // namespace
+
+WeightedPca::WeightedPca() : quantifier_(GlobalOnlyOptions()) {}
+
+Status WeightedPca::Fit(const dataframe::DataFrame& reference) {
+  return quantifier_.Fit(reference);
+}
+
+StatusOr<double> WeightedPca::Score(const dataframe::DataFrame& window) {
+  return quantifier_.Score(window);
+}
+
+}  // namespace ccs::baselines

@@ -1,0 +1,51 @@
+// W-PCA: the weighted-PCA global baseline of Fig. 6(c).
+//
+// Identical machinery to conformance constraints — all PCA projections
+// with inverse-log-variance weights — but learned GLOBALLY only: no
+// disjunctive (per-partition) constraints. It therefore captures "a group
+// of people are performing some activities" but not "who is doing what",
+// and misses local drift.
+
+#ifndef CCS_BASELINES_WPCA_H_
+#define CCS_BASELINES_WPCA_H_
+
+#include "baselines/drift_detector.h"
+#include "core/drift.h"
+
+namespace ccs::baselines {
+
+class WeightedPca : public DriftDetector {
+ public:
+  WeightedPca();
+
+  std::string name() const override { return "W-PCA"; }
+  Status Fit(const dataframe::DataFrame& reference) override;
+  StatusOr<double> Score(const dataframe::DataFrame& window) override;
+
+ private:
+  core::ConformanceDriftQuantifier quantifier_;
+};
+
+/// The conformance-constraint method behind the shared DriftDetector
+/// interface (for apples-to-apples series in the benches).
+class ConformanceDetector : public DriftDetector {
+ public:
+  explicit ConformanceDetector(
+      core::SynthesisOptions options = core::SynthesisOptions())
+      : quantifier_(options) {}
+
+  std::string name() const override { return "CCSynth"; }
+  Status Fit(const dataframe::DataFrame& reference) override {
+    return quantifier_.Fit(reference);
+  }
+  StatusOr<double> Score(const dataframe::DataFrame& window) override {
+    return quantifier_.Score(window);
+  }
+
+ private:
+  core::ConformanceDriftQuantifier quantifier_;
+};
+
+}  // namespace ccs::baselines
+
+#endif  // CCS_BASELINES_WPCA_H_

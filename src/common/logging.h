@@ -1,0 +1,70 @@
+// Minimal logging and assertion macros (CHECK / DCHECK / LOG).
+//
+// CHECK is for programmer errors (violated invariants); recoverable errors
+// use Status. CHECK prints the failed condition plus any streamed context
+// and aborts.
+
+#ifndef CCS_COMMON_LOGGING_H_
+#define CCS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ccs {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Log-level message emitted to stderr with a severity prefix.
+class LogMessage {
+ public:
+  explicit LogMessage(const char* level) { stream_ << "[" << level << "] "; }
+  ~LogMessage() { std::cerr << stream_.str() << std::endl; }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ccs
+
+#define CCS_CHECK(condition)                                             \
+  if (!(condition))                                                      \
+  ::ccs::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+#define CCS_CHECK_EQ(a, b) CCS_CHECK((a) == (b))
+#define CCS_CHECK_NE(a, b) CCS_CHECK((a) != (b))
+#define CCS_CHECK_LT(a, b) CCS_CHECK((a) < (b))
+#define CCS_CHECK_LE(a, b) CCS_CHECK((a) <= (b))
+#define CCS_CHECK_GT(a, b) CCS_CHECK((a) > (b))
+#define CCS_CHECK_GE(a, b) CCS_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define CCS_DCHECK(condition) \
+  if (false) CCS_CHECK(condition)
+#else
+#define CCS_DCHECK(condition) CCS_CHECK(condition)
+#endif
+
+#define CCS_LOG_INFO ::ccs::internal::LogMessage("INFO").stream()
+#define CCS_LOG_WARNING ::ccs::internal::LogMessage("WARN").stream()
+#define CCS_LOG_ERROR ::ccs::internal::LogMessage("ERROR").stream()
+
+#endif  // CCS_COMMON_LOGGING_H_

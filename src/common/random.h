@@ -1,0 +1,58 @@
+// Deterministic random number generation for reproducible experiments.
+
+#ifndef CCS_COMMON_RANDOM_H_
+#define CCS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ccs {
+
+/// A seedable RNG with convenience samplers.
+///
+/// All experiment and generator code takes an Rng (or a seed) explicitly so
+/// every benchmark/test run is reproducible. Wraps std::mt19937_64.
+class Rng {
+ public:
+  /// Constructs an RNG from a fixed seed (default chosen arbitrarily).
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal (mean 0, stddev 1) unless overridden.
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  /// Weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `indices` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+  /// The underlying engine, for use with std <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_COMMON_RANDOM_H_

@@ -1,0 +1,118 @@
+// Status: a lightweight error-propagation type in the Arrow/RocksDB idiom.
+//
+// Library code never throws across API boundaries; fallible operations
+// return Status (or StatusOr<T>, see statusor.h). The RETURN_IF_ERROR and
+// ASSIGN_OR_RETURN macros make propagation terse.
+
+#ifndef CCS_COMMON_STATUS_H_
+#define CCS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ccs {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail.
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// message. Status is cheap to copy (small string optimization covers most
+/// messages) and is [[nodiscard]] so callers cannot silently drop errors.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not
+  /// be kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace ccs
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define CCS_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::ccs::Status _ccs_status = (expr);           \
+    if (!_ccs_status.ok()) return _ccs_status;    \
+  } while (false)
+
+#define CCS_CONCAT_IMPL(x, y) x##y
+#define CCS_CONCAT(x, y) CCS_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on error returns the
+/// status, otherwise move-assigns the value into `lhs`.
+#define CCS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto CCS_CONCAT(_ccs_statusor_, __LINE__) = (rexpr);          \
+  if (!CCS_CONCAT(_ccs_statusor_, __LINE__).ok())               \
+    return CCS_CONCAT(_ccs_statusor_, __LINE__).status();       \
+  lhs = std::move(CCS_CONCAT(_ccs_statusor_, __LINE__)).value()
+
+#endif  // CCS_COMMON_STATUS_H_

@@ -1,0 +1,74 @@
+// StatusOr<T>: the value-or-error return type used throughout the library.
+
+#ifndef CCS_COMMON_STATUSOR_H_
+#define CCS_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace ccs {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+///
+/// Usage:
+///   StatusOr<DataFrame> df = CsvReader::ReadFile(path);
+///   if (!df.ok()) return df.status();
+///   Use(df.value());
+///
+/// Accessing value() on an error-state StatusOr aborts via CHECK — errors
+/// must be handled, not ignored.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit conversion from a non-OK Status. CHECK-fails if `status` is
+  /// OK (an OK StatusOr must carry a value).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    CCS_CHECK(!status_.ok()) << "OK status must carry a value";
+  }
+
+  /// Implicit conversion from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK iff a value is present.
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    CCS_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CCS_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CCS_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Dereference sugar. Requires ok().
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_COMMON_STATUSOR_H_

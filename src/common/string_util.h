@@ -1,0 +1,42 @@
+// Small string helpers used by the CSV layer and constraint serialization.
+
+#ifndef CCS_COMMON_STRING_UTIL_H_
+#define CCS_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccs {
+
+/// Splits `text` at every occurrence of `delimiter` (no quoting rules; the
+/// CSV reader has its own quote-aware splitter).
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Parses a double; rejects trailing garbage, empty strings, NaN spellings.
+std::optional<double> ParseDouble(std::string_view text);
+
+/// Parses a base-10 integer; rejects trailing garbage and empty strings.
+std::optional<int64_t> ParseInt(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double compactly (shortest representation round-tripping to
+/// 10 significant digits, trailing zeros trimmed).
+std::string FormatDouble(double value);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view text);
+
+}  // namespace ccs
+
+#endif  // CCS_COMMON_STRING_UTIL_H_

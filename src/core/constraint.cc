@@ -1,0 +1,226 @@
+#include "core/constraint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccs::core {
+
+namespace {
+
+// Cap on alpha when sigma(F(D)) = 0 ("a large positive number", §3.2).
+constexpr double kMaxAlpha = 1e12;
+
+// eta(z) = 1 - e^{-z}: monotone map from [0, inf) to [0, 1).
+double Eta(double z) { return 1.0 - std::exp(-z); }
+
+}  // namespace
+
+BoundedConstraint::BoundedConstraint(Projection projection, double lb,
+                                     double ub, double mean, double stddev,
+                                     double importance)
+    : projection_(std::move(projection)),
+      lb_(lb),
+      ub_(ub),
+      mean_(mean),
+      stddev_(stddev),
+      importance_(importance) {
+  CCS_CHECK_LE(lb_, ub_);
+  CCS_CHECK_GE(stddev_, 0.0);
+  alpha_ = (stddev_ > 0.0) ? std::min(1.0 / stddev_, kMaxAlpha) : kMaxAlpha;
+}
+
+bool BoundedConstraint::IsSatisfiedAligned(
+    const linalg::Vector& numeric_tuple) const {
+  double v = projection_.EvaluateAligned(numeric_tuple);
+  return v >= lb_ && v <= ub_;
+}
+
+double BoundedConstraint::ViolationAligned(
+    const linalg::Vector& numeric_tuple) const {
+  return ViolationOfValue(projection_.EvaluateAligned(numeric_tuple));
+}
+
+double BoundedConstraint::ViolationOfValue(double value) const {
+  double excess = std::max({0.0, value - ub_, lb_ - value});
+  return Eta(alpha_ * excess);
+}
+
+StatusOr<SimpleConstraint> SimpleConstraint::Create(
+    std::vector<std::string> attribute_names,
+    std::vector<BoundedConstraint> conjuncts) {
+  for (const BoundedConstraint& c : conjuncts) {
+    if (c.projection().attribute_names() != attribute_names) {
+      return Status::InvalidArgument(
+          "SimpleConstraint: conjunct attribute order mismatch");
+    }
+  }
+  SimpleConstraint out;
+  out.names_ = std::move(attribute_names);
+  out.conjuncts_ = std::move(conjuncts);
+  return out;
+}
+
+bool SimpleConstraint::IsSatisfiedAligned(
+    const linalg::Vector& numeric_tuple) const {
+  for (const BoundedConstraint& c : conjuncts_) {
+    if (!c.IsSatisfiedAligned(numeric_tuple)) return false;
+  }
+  return true;
+}
+
+double SimpleConstraint::ViolationAligned(
+    const linalg::Vector& numeric_tuple) const {
+  double acc = 0.0;
+  for (const BoundedConstraint& c : conjuncts_) {
+    acc += c.importance() * c.ViolationAligned(numeric_tuple);
+  }
+  // The importances sum to 1 only up to rounding; keep the contract that
+  // violations live in [0, 1] exactly.
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+StatusOr<double> SimpleConstraint::Violation(const dataframe::DataFrame& df,
+                                             size_t row) const {
+  if (row >= df.num_rows()) {
+    return Status::OutOfRange("SimpleConstraint::Violation: row out of range");
+  }
+  linalg::Vector tuple(names_.size());
+  for (size_t j = 0; j < names_.size(); ++j) {
+    CCS_ASSIGN_OR_RETURN(tuple[j], df.NumericValue(row, names_[j]));
+  }
+  return ViolationAligned(tuple);
+}
+
+StatusOr<linalg::Vector> SimpleConstraint::ViolationAll(
+    const dataframe::DataFrame& df) const {
+  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names_));
+  linalg::Vector out(df.num_rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    out[i] = ViolationAligned(data.Row(i));
+  }
+  return out;
+}
+
+StatusOr<const SimpleConstraint*> DisjunctiveConstraint::Simplify(
+    const dataframe::DataFrame& df, size_t row) const {
+  CCS_ASSIGN_OR_RETURN(std::string value,
+                       df.CategoricalValue(row, attribute_));
+  auto it = cases_.find(value);
+  if (it == cases_.end()) {
+    return Status::NotFound("no case for " + attribute_ + " = " + value);
+  }
+  return &it->second;
+}
+
+StatusOr<double> DisjunctiveConstraint::Violation(
+    const dataframe::DataFrame& df, size_t row) const {
+  auto simplified = Simplify(df, row);
+  if (!simplified.ok()) {
+    if (simplified.status().code() == StatusCode::kNotFound) {
+      return 1.0;  // simp undefined => maximal violation (paper §3.2).
+    }
+    return simplified.status();
+  }
+  return (*simplified.value()).Violation(df, row);
+}
+
+StatusOr<bool> DisjunctiveConstraint::IsSatisfied(
+    const dataframe::DataFrame& df, size_t row) const {
+  CCS_ASSIGN_OR_RETURN(double v, Violation(df, row));
+  return v == 0.0;
+}
+
+StatusOr<linalg::Vector> DisjunctiveConstraint::ViolationAll(
+    const dataframe::DataFrame& df) const {
+  CCS_ASSIGN_OR_RETURN(const dataframe::Column* col,
+                       df.ColumnByName(attribute_));
+  if (col->is_numeric()) {
+    return Status::InvalidArgument(
+        "DisjunctiveConstraint: switch attribute must be categorical");
+  }
+  // Unseen switch values default to maximal violation (simp undefined).
+  linalg::Vector out(df.num_rows(), 1.0);
+  if (cases_.empty() || df.num_rows() == 0) return out;
+
+  // Fast path: all cases share one attribute order, so the numeric matrix
+  // can be materialized once (this is always the case for synthesized
+  // constraints — partitions share the schema's numeric attributes).
+  const std::vector<std::string>& names =
+      cases_.begin()->second.attribute_names();
+  bool shared = true;
+  for (const auto& [value, c] : cases_) {
+    if (c.attribute_names() != names) {
+      shared = false;
+      break;
+    }
+  }
+  if (shared) {
+    CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names));
+    for (size_t i = 0; i < df.num_rows(); ++i) {
+      auto it = cases_.find(col->CategoricalAt(i));
+      if (it == cases_.end()) continue;
+      out[i] = it->second.ViolationAligned(data.Row(i));
+    }
+    return out;
+  }
+  for (size_t i = 0; i < df.num_rows(); ++i) {
+    CCS_ASSIGN_OR_RETURN(out[i], Violation(df, i));
+  }
+  return out;
+}
+
+StatusOr<double> ConformanceConstraint::Violation(
+    const dataframe::DataFrame& df, size_t row) const {
+  size_t groups = num_groups();
+  if (groups == 0) {
+    return Status::FailedPrecondition(
+        "ConformanceConstraint: no constraint groups");
+  }
+  double acc = 0.0;
+  if (has_global()) {
+    CCS_ASSIGN_OR_RETURN(double v, global_.Violation(df, row));
+    acc += v;
+  }
+  for (const DisjunctiveConstraint& d : disjunctions_) {
+    CCS_ASSIGN_OR_RETURN(double v, d.Violation(df, row));
+    acc += v;
+  }
+  return acc / static_cast<double>(groups);
+}
+
+StatusOr<linalg::Vector> ConformanceConstraint::ViolationAll(
+    const dataframe::DataFrame& df) const {
+  size_t groups = num_groups();
+  if (groups == 0) {
+    return Status::FailedPrecondition(
+        "ConformanceConstraint: no constraint groups");
+  }
+  linalg::Vector acc(df.num_rows());
+  if (has_global()) {
+    CCS_ASSIGN_OR_RETURN(linalg::Vector v, global_.ViolationAll(df));
+    acc.Axpy(1.0, v);
+  }
+  for (const DisjunctiveConstraint& d : disjunctions_) {
+    CCS_ASSIGN_OR_RETURN(linalg::Vector v, d.ViolationAll(df));
+    acc.Axpy(1.0, v);
+  }
+  acc.Scale(1.0 / static_cast<double>(groups));
+  return acc;
+}
+
+StatusOr<double> ConformanceConstraint::MeanViolation(
+    const dataframe::DataFrame& df) const {
+  if (df.num_rows() == 0) {
+    return Status::InvalidArgument("MeanViolation: empty dataset");
+  }
+  CCS_ASSIGN_OR_RETURN(linalg::Vector v, ViolationAll(df));
+  return v.Mean();
+}
+
+StatusOr<bool> ConformanceConstraint::IsSatisfied(
+    const dataframe::DataFrame& df, size_t row) const {
+  CCS_ASSIGN_OR_RETURN(double v, Violation(df, row));
+  return v == 0.0;
+}
+
+}  // namespace ccs::core

@@ -1,0 +1,117 @@
+#include "core/datadiff.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ccs::core {
+
+std::string DatasetDiff::ToString() const {
+  std::ostringstream os;
+  os << "violation(B | profile of A) = " << FormatDouble(violation_b_against_a)
+     << "\n";
+  os << "violation(A | profile of B) = " << FormatDouble(violation_a_against_b)
+     << "\n";
+  if (!partitions.empty()) {
+    os << "top drifted partitions (B against A):\n";
+    size_t shown = 0;
+    for (const PartitionDiff& p : partitions) {
+      if (shown++ >= 10) break;
+      os << "  " << p.attribute << " = " << p.value << ": violation "
+         << FormatDouble(p.violation_b_against_a) << " (A rows " << p.rows_a
+         << ", B rows " << p.rows_b << ")\n";
+    }
+  }
+  if (!responsibilities.empty()) {
+    os << "attribute responsibility (B against A):\n";
+    for (const AttributeResponsibility& r : responsibilities) {
+      os << "  " << r.attribute << ": " << FormatDouble(r.responsibility)
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+StatusOr<DatasetDiff> DiffDatasets(const dataframe::DataFrame& a,
+                                   const dataframe::DataFrame& b,
+                                   const SynthesisOptions& options) {
+  if (a.num_rows() == 0 || b.num_rows() == 0) {
+    return Status::InvalidArgument("DiffDatasets: empty input");
+  }
+  if (!(a.schema() == b.schema())) {
+    // Allow column reordering: check same name/type multiset via lookup.
+    if (a.num_columns() != b.num_columns()) {
+      return Status::InvalidArgument("DiffDatasets: schema mismatch");
+    }
+    for (const auto& attr : a.schema().attributes()) {
+      auto idx = b.schema().IndexOf(attr.name);
+      if (!idx.ok() || b.schema().attribute(*idx).type != attr.type) {
+        return Status::InvalidArgument("DiffDatasets: schema mismatch on " +
+                                       attr.name);
+      }
+    }
+  }
+
+  Synthesizer synthesizer(options);
+  DatasetDiff diff;
+
+  // Symmetric dataset-level violations.
+  CCS_ASSIGN_OR_RETURN(ConformanceConstraint profile_a,
+                       synthesizer.Synthesize(a));
+  CCS_ASSIGN_OR_RETURN(ConformanceConstraint profile_b,
+                       synthesizer.Synthesize(b));
+  CCS_ASSIGN_OR_RETURN(diff.violation_b_against_a, profile_a.MeanViolation(b));
+  CCS_ASSIGN_OR_RETURN(diff.violation_a_against_b, profile_b.MeanViolation(a));
+
+  // Per-partition breakdown over every small-domain categorical attr.
+  for (const std::string& attr : a.CategoricalNames()) {
+    CCS_ASSIGN_OR_RETURN(const dataframe::Column* col, a.ColumnByName(attr));
+    if (col->DistinctValues().size() > options.max_categorical_domain) {
+      continue;
+    }
+    CCS_ASSIGN_OR_RETURN(auto parts_a, a.PartitionBy(attr));
+    CCS_ASSIGN_OR_RETURN(auto parts_b, b.PartitionBy(attr));
+    for (const auto& [value, part_b] : parts_b) {
+      PartitionDiff entry;
+      entry.attribute = attr;
+      entry.value = value;
+      entry.rows_b = part_b.num_rows();
+      auto it = parts_a.find(value);
+      if (it == parts_a.end() ||
+          it->second.num_rows() < options.min_partition_rows) {
+        entry.rows_a = it == parts_a.end() ? 0 : it->second.num_rows();
+        entry.violation_b_against_a = 1.0;  // No profile to conform to.
+      } else {
+        entry.rows_a = it->second.num_rows();
+        auto constraint = synthesizer.SynthesizeSimple(it->second);
+        if (!constraint.ok()) continue;
+        CCS_ASSIGN_OR_RETURN(linalg::Vector v,
+                             constraint->ViolationAll(part_b));
+        entry.violation_b_against_a = v.Mean();
+      }
+      diff.partitions.push_back(std::move(entry));
+    }
+  }
+  std::sort(diff.partitions.begin(), diff.partitions.end(),
+            [](const PartitionDiff& x, const PartitionDiff& y) {
+              return x.violation_b_against_a > y.violation_b_against_a;
+            });
+
+  // Attribute responsibility of B's drift from A.
+  auto explainer = NonConformanceExplainer::FromTrainingData(a);
+  if (explainer.ok()) {
+    auto responsibilities = explainer->ExplainDataset(b);
+    if (responsibilities.ok()) {
+      diff.responsibilities = std::move(responsibilities).value();
+      std::sort(diff.responsibilities.begin(), diff.responsibilities.end(),
+                [](const AttributeResponsibility& x,
+                   const AttributeResponsibility& y) {
+                  return x.responsibility > y.responsibility;
+                });
+    }
+  }
+  return diff;
+}
+
+}  // namespace ccs::core

@@ -1,0 +1,60 @@
+// Dataset differencing (paper Appendix H: "a mechanism — built on top of
+// conformance constraints — to explore differences between datasets";
+// cf. data-diff [76]).
+//
+// Given two datasets A and B over the same schema, the diff reports:
+//   - the asymmetric dataset-level violations (B against A's profile and
+//     A against B's),
+//   - a per-partition breakdown over each small-domain categorical
+//     attribute (which slices of B stopped conforming to A, and which
+//     slices of A are absent or different in B),
+//   - per-attribute responsibility for the B-against-A non-conformance.
+
+#ifndef CCS_CORE_DATADIFF_H_
+#define CCS_CORE_DATADIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/explain.h"
+#include "core/synthesizer.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::core {
+
+/// One partition's contribution to the diff.
+struct PartitionDiff {
+  std::string attribute;          ///< Partitioning attribute.
+  std::string value;              ///< Partition value.
+  size_t rows_a = 0;              ///< Rows in A with this value.
+  size_t rows_b = 0;              ///< Rows in B with this value.
+  /// Mean violation of B's partition against A's partition profile
+  /// (1.0 when the value never occurs in A).
+  double violation_b_against_a = 0.0;
+};
+
+/// The full diff report.
+struct DatasetDiff {
+  /// Mean violation of all of B against A's compound constraint.
+  double violation_b_against_a = 0.0;
+  /// Mean violation of all of A against B's compound constraint.
+  double violation_a_against_b = 0.0;
+  /// Per-partition breakdown, sorted by descending violation.
+  std::vector<PartitionDiff> partitions;
+  /// Attribute responsibilities for B's non-conformance w.r.t. A.
+  std::vector<AttributeResponsibility> responsibilities;
+
+  /// Human-readable rendering of the report.
+  std::string ToString() const;
+};
+
+/// Computes the diff. Both frames must share A's schema (extra columns in
+/// B are an error; reorderings are fine since lookups are by name).
+StatusOr<DatasetDiff> DiffDatasets(
+    const dataframe::DataFrame& a, const dataframe::DataFrame& b,
+    const SynthesisOptions& options = SynthesisOptions());
+
+}  // namespace ccs::core
+
+#endif  // CCS_CORE_DATADIFF_H_

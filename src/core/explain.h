@@ -1,0 +1,71 @@
+// ExTuNe-style responsibility analysis for non-conformance (Appendix K).
+//
+// For a non-conforming tuple t and attribute A_i:
+//   (1) intervene on t.A_i, replacing it with the training mean of A_i;
+//   (2) greedily count how many ADDITIONAL attributes must also be reset
+//       to their means before the tuple satisfies the constraints;
+//   (3) if K additional fixes were needed, A_i's responsibility is
+//       1 / (K + 1).
+// Averaging over a serving set gives per-attribute responsibility for the
+// observed drift (the bar charts of Fig. 12).
+
+#ifndef CCS_CORE_EXPLAIN_H_
+#define CCS_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/constraint.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::core {
+
+/// Responsibility of one attribute for observed non-conformance.
+struct AttributeResponsibility {
+  std::string attribute;
+  double responsibility = 0.0;
+};
+
+/// Explains non-conformance of serving tuples against a (global) simple
+/// constraint learned on `training`.
+class NonConformanceExplainer {
+ public:
+  /// `constraint` must have been learned on data with the same numeric
+  /// attributes as `training_means` describes.
+  NonConformanceExplainer(SimpleConstraint constraint,
+                          std::vector<std::string> attribute_names,
+                          linalg::Vector training_means);
+
+  /// Builds an explainer from training data directly: synthesizes the
+  /// simple constraint and records attribute means.
+  static StatusOr<NonConformanceExplainer> FromTrainingData(
+      const dataframe::DataFrame& training);
+
+  /// Per-attribute responsibility for one (aligned) numeric tuple.
+  /// Conforming tuples yield all-zero responsibilities.
+  StatusOr<std::vector<AttributeResponsibility>> ExplainTuple(
+      const linalg::Vector& numeric_tuple) const;
+
+  /// Mean per-attribute responsibility over a serving dataset.
+  StatusOr<std::vector<AttributeResponsibility>> ExplainDataset(
+      const dataframe::DataFrame& serving) const;
+
+  const std::vector<std::string>& attribute_names() const { return names_; }
+
+ private:
+  /// Greedy count of additional mean-resets needed after fixing
+  /// `first_fixed`; returns the count, or attribute count if even fixing
+  /// everything does not reach conformance (cannot happen: the all-means
+  /// tuple satisfies mu +/- C sigma bounds).
+  size_t AdditionalFixes(const linalg::Vector& tuple,
+                         size_t first_fixed) const;
+
+  SimpleConstraint constraint_;
+  std::vector<std::string> names_;
+  linalg::Vector means_;
+};
+
+}  // namespace ccs::core
+
+#endif  // CCS_CORE_EXPLAIN_H_

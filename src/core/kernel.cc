@@ -1,0 +1,58 @@
+#include "core/kernel.h"
+
+namespace ccs::core {
+
+StatusOr<dataframe::DataFrame> ExpandPolynomial(
+    const dataframe::DataFrame& df,
+    const PolynomialExpansionOptions& options) {
+  std::vector<std::string> numeric = df.NumericNames();
+  if (numeric.empty()) {
+    return Status::InvalidArgument(
+        "ExpandPolynomial: no numeric attributes to expand");
+  }
+  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(numeric));
+  const size_t n = df.num_rows();
+  const size_t m = numeric.size();
+
+  dataframe::DataFrame out;
+  if (options.keep_linear) {
+    for (size_t j = 0; j < m; ++j) {
+      std::vector<double> col(n);
+      for (size_t i = 0; i < n; ++i) col[i] = data.At(i, j);
+      CCS_RETURN_IF_ERROR(out.AddNumericColumn(numeric[j], std::move(col)));
+    }
+  }
+  if (options.include_squares) {
+    for (size_t j = 0; j < m; ++j) {
+      std::vector<double> col(n);
+      for (size_t i = 0; i < n; ++i) col[i] = data.At(i, j) * data.At(i, j);
+      CCS_RETURN_IF_ERROR(
+          out.AddNumericColumn(numeric[j] + "^2", std::move(col)));
+    }
+  }
+  if (options.include_cross_terms) {
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t k = j + 1; k < m; ++k) {
+        std::vector<double> col(n);
+        for (size_t i = 0; i < n; ++i) {
+          col[i] = data.At(i, j) * data.At(i, k);
+        }
+        CCS_RETURN_IF_ERROR(out.AddNumericColumn(
+            numeric[j] + "*" + numeric[k], std::move(col)));
+      }
+    }
+  }
+  // Categorical attributes pass through for disjunctive synthesis.
+  for (const std::string& name : df.CategoricalNames()) {
+    CCS_ASSIGN_OR_RETURN(const dataframe::Column* col, df.ColumnByName(name));
+    CCS_RETURN_IF_ERROR(
+        out.AddCategoricalColumn(name, col->categorical_data()));
+  }
+  if (out.num_columns() == 0) {
+    return Status::InvalidArgument(
+        "ExpandPolynomial: options produced an empty expansion");
+  }
+  return out;
+}
+
+}  // namespace ccs::core

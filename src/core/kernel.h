@@ -1,0 +1,36 @@
+// Polynomial feature maps for nonlinear conformance constraints (§5.1).
+//
+// The paper limits evaluation to the linear kernel but notes the framework
+// extends to nonlinear constraints via kernelized PCA. We implement the
+// explicit degree-2 polynomial feature map: augmenting the dataset with
+// squares and pairwise products makes LINEAR constraints over the expanded
+// space express QUADRATIC constraints over the original attributes.
+
+#ifndef CCS_CORE_KERNEL_H_
+#define CCS_CORE_KERNEL_H_
+
+#include "common/statusor.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::core {
+
+/// Options for the polynomial expansion.
+struct PolynomialExpansionOptions {
+  /// Include squared terms x_i^2 (named "<a>^2").
+  bool include_squares = true;
+  /// Include cross terms x_i * x_j, i < j (named "<a>*<b>").
+  bool include_cross_terms = true;
+  /// Keep the original (degree-1) attributes.
+  bool keep_linear = true;
+};
+
+/// Returns a copy of `df` whose numeric attributes are expanded with
+/// degree-2 terms; categorical attributes pass through unchanged.
+/// Synthesizing on the result yields nonlinear conformance constraints.
+StatusOr<dataframe::DataFrame> ExpandPolynomial(
+    const dataframe::DataFrame& df,
+    const PolynomialExpansionOptions& options = PolynomialExpansionOptions());
+
+}  // namespace ccs::core
+
+#endif  // CCS_CORE_KERNEL_H_

@@ -1,0 +1,60 @@
+#include "core/monitor.h"
+
+namespace ccs::core {
+
+IncrementalSynthesizer::IncrementalSynthesizer(
+    std::vector<std::string> attribute_names, SynthesisOptions options)
+    : names_(std::move(attribute_names)),
+      synthesizer_(options),
+      gram_(names_.size()) {
+  CCS_CHECK(!names_.empty());
+}
+
+void IncrementalSynthesizer::Observe(const linalg::Vector& numeric_tuple) {
+  gram_.Add(numeric_tuple);
+}
+
+Status IncrementalSynthesizer::ObserveAll(const dataframe::DataFrame& df) {
+  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names_));
+  gram_.AddMatrix(data);
+  return Status::OK();
+}
+
+Status IncrementalSynthesizer::Merge(const IncrementalSynthesizer& other) {
+  if (other.names_ != names_) {
+    return Status::InvalidArgument(
+        "IncrementalSynthesizer::Merge: schema mismatch");
+  }
+  return gram_.Merge(other.gram_);
+}
+
+int64_t IncrementalSynthesizer::count() const { return gram_.count(); }
+
+StatusOr<SimpleConstraint> IncrementalSynthesizer::Synthesize() const {
+  return synthesizer_.SynthesizeSimpleFromGram(names_, gram_);
+}
+
+StatusOr<StreamMonitor> StreamMonitor::Create(
+    const dataframe::DataFrame& reference, double alarm_threshold,
+    SynthesisOptions options) {
+  if (alarm_threshold < 0.0 || alarm_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "StreamMonitor: alarm_threshold must be in [0,1]");
+  }
+  ConformanceDriftQuantifier quantifier(options);
+  CCS_RETURN_IF_ERROR(quantifier.Fit(reference));
+  return StreamMonitor(std::move(quantifier), alarm_threshold);
+}
+
+StatusOr<WindowScore> StreamMonitor::ObserveWindow(
+    const dataframe::DataFrame& window) {
+  CCS_ASSIGN_OR_RETURN(double drift, quantifier_.Score(window));
+  WindowScore score;
+  score.window_index = history_.size();
+  score.drift = drift;
+  score.alarm = drift > alarm_threshold_;
+  history_.push_back(score);
+  return score;
+}
+
+}  // namespace ccs::core

@@ -1,0 +1,89 @@
+// Streaming constraint maintenance and windowed drift monitoring.
+//
+// IncrementalSynthesizer exploits §4.3.2: the Gram matrix is a streaming
+// sum, so constraints can be refreshed after any number of appended tuples
+// at O(m^3) cost without revisiting old data. StreamMonitor packages the
+// serving-side loop: per-window mean violation against a fixed reference
+// profile, with a violation threshold alarm.
+
+#ifndef CCS_CORE_MONITOR_H_
+#define CCS_CORE_MONITOR_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/constraint.h"
+#include "core/drift.h"
+#include "core/synthesizer.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::core {
+
+/// Builds and refreshes a (global) simple constraint over a stream of
+/// tuples in O(m^2) memory.
+class IncrementalSynthesizer {
+ public:
+  /// `attribute_names` fixes the numeric schema of the stream.
+  IncrementalSynthesizer(std::vector<std::string> attribute_names,
+                         SynthesisOptions options = SynthesisOptions());
+
+  /// Ingests one aligned numeric tuple.
+  void Observe(const linalg::Vector& numeric_tuple);
+
+  /// Ingests every row of a DataFrame carrying the schema's attributes.
+  Status ObserveAll(const dataframe::DataFrame& df);
+
+  /// Merges the observations of another incremental synthesizer built
+  /// over the same schema (partition-parallel ingestion).
+  Status Merge(const IncrementalSynthesizer& other);
+
+  int64_t count() const;
+
+  /// Synthesizes the constraint for everything observed so far.
+  StatusOr<SimpleConstraint> Synthesize() const;
+
+ private:
+  std::vector<std::string> names_;
+  Synthesizer synthesizer_;
+  linalg::GramAccumulator gram_;
+};
+
+/// Result of scoring one window.
+struct WindowScore {
+  size_t window_index = 0;
+  double drift = 0.0;
+  bool alarm = false;
+};
+
+/// Scores consecutive serving windows against a reference profile.
+class StreamMonitor {
+ public:
+  /// Learns the reference profile from `reference`; windows scoring above
+  /// `alarm_threshold` are flagged.
+  static StatusOr<StreamMonitor> Create(
+      const dataframe::DataFrame& reference, double alarm_threshold,
+      SynthesisOptions options = SynthesisOptions());
+
+  /// Scores the next window.
+  StatusOr<WindowScore> ObserveWindow(const dataframe::DataFrame& window);
+
+  /// All scores so far, in arrival order.
+  const std::vector<WindowScore>& history() const { return history_; }
+
+  double alarm_threshold() const { return alarm_threshold_; }
+
+ private:
+  StreamMonitor(ConformanceDriftQuantifier quantifier, double alarm_threshold)
+      : quantifier_(std::move(quantifier)),
+        alarm_threshold_(alarm_threshold) {}
+
+  ConformanceDriftQuantifier quantifier_;
+  double alarm_threshold_;
+  std::vector<WindowScore> history_;
+};
+
+}  // namespace ccs::core
+
+#endif  // CCS_CORE_MONITOR_H_

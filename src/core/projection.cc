@@ -1,0 +1,87 @@
+#include "core/projection.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ccs::core {
+
+StatusOr<Projection> Projection::Create(
+    std::vector<std::string> attribute_names, linalg::Vector coefficients) {
+  if (attribute_names.size() != coefficients.size()) {
+    return Status::InvalidArgument(
+        "Projection: names/coefficients size mismatch");
+  }
+  if (attribute_names.empty()) {
+    return Status::InvalidArgument("Projection: empty attribute list");
+  }
+  return Projection(std::move(attribute_names), std::move(coefficients));
+}
+
+StatusOr<double> Projection::Evaluate(const dataframe::DataFrame& df,
+                                      size_t row) const {
+  double acc = 0.0;
+  for (size_t j = 0; j < names_.size(); ++j) {
+    CCS_ASSIGN_OR_RETURN(double v, df.NumericValue(row, names_[j]));
+    acc += coefficients_[j] * v;
+  }
+  return acc;
+}
+
+StatusOr<linalg::Vector> Projection::EvaluateAll(
+    const dataframe::DataFrame& df) const {
+  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names_));
+  linalg::Vector out(df.num_rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < data.cols(); ++j) {
+      acc += coefficients_[j] * data.At(i, j);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+StatusOr<Projection> Projection::Normalized() const {
+  double norm = coefficients_.Norm();
+  if (norm <= 0.0) {
+    return Status::FailedPrecondition("Projection: zero coefficient vector");
+  }
+  linalg::Vector scaled = coefficients_;
+  scaled.Scale(1.0 / norm);
+  return Projection(names_, std::move(scaled));
+}
+
+std::string Projection::ToString() const {
+  constexpr double kElisionThreshold = 5e-7;
+  std::ostringstream os;
+  bool first = true;
+  bool any = false;
+  for (size_t j = 0; j < names_.size(); ++j) {
+    double c = coefficients_[j];
+    if (std::abs(c) < kElisionThreshold) continue;
+    any = true;
+    if (first) {
+      if (c < 0.0) os << "-";
+    } else {
+      os << (c < 0.0 ? " - " : " + ");
+    }
+    double mag = std::abs(c);
+    if (std::abs(mag - 1.0) > 1e-12) {
+      os << FormatDouble(mag) << "*";
+    }
+    os << names_[j];
+    first = false;
+  }
+  if (!any) {
+    // All coefficients tiny: print them anyway rather than an empty string.
+    for (size_t j = 0; j < names_.size(); ++j) {
+      if (j > 0) os << " + ";
+      os << FormatDouble(coefficients_[j]) << "*" << names_[j];
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ccs::core

@@ -1,0 +1,78 @@
+// Violation-guided data repair (paper Appendix H: "missing values can be
+// imputed by exploiting relationships among attributes that conformance
+// constraints capture", and "the violation score serves as a measure of
+// error" for error detection).
+//
+// Imputation solves a weighted least-squares problem over the learned
+// projections: choose the missing value x so every projection stays as
+// close to its training mean as its importance and scale warrant,
+//     x* = argmin_x  sum_k gamma_k alpha_k^2 (F_k(t[x]) - mu_k)^2,
+// which has the closed form implemented here. Error detection flags
+// non-conforming tuples and names the top-responsibility cell together
+// with its repair suggestion.
+
+#ifndef CCS_CORE_REPAIR_H_
+#define CCS_CORE_REPAIR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/constraint.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::core {
+
+/// One detected suspicious cell.
+struct CellError {
+  size_t row = 0;
+  std::string attribute;     ///< Most responsible attribute.
+  double violation = 0.0;    ///< Tuple violation before repair.
+  double suggested = 0.0;    ///< Repair suggestion for the cell.
+  double repaired_violation = 0.0;  ///< Tuple violation after the repair.
+};
+
+/// Imputes missing numeric values and detects erroneous cells using a
+/// simple constraint learned from (clean) training data.
+class ConstraintRepairer {
+ public:
+  /// Learns the profile from `training` (numeric attributes only are
+  /// used; categorical ones are ignored).
+  static StatusOr<ConstraintRepairer> FromTrainingData(
+      const dataframe::DataFrame& training);
+
+  /// The value for attribute index `missing` that minimizes the weighted
+  /// squared deviation of all projections from their means, given the
+  /// other attribute values in `tuple` (its `missing` entry is ignored).
+  StatusOr<double> ImputeValue(const linalg::Vector& tuple,
+                               size_t missing) const;
+
+  /// Convenience: returns `tuple` with entry `missing` replaced by the
+  /// imputed value.
+  StatusOr<linalg::Vector> ImputeRow(const linalg::Vector& tuple,
+                                     size_t missing) const;
+
+  /// Scans `df` for tuples whose violation exceeds `threshold`; for each,
+  /// blames the cell whose repair most reduces the violation and reports
+  /// the suggestion. Results sorted by descending violation.
+  StatusOr<std::vector<CellError>> DetectErrors(const dataframe::DataFrame& df,
+                                                double threshold) const;
+
+  const std::vector<std::string>& attribute_names() const { return names_; }
+  const SimpleConstraint& constraint() const { return constraint_; }
+
+ private:
+  ConstraintRepairer(SimpleConstraint constraint,
+                     std::vector<std::string> names, linalg::Vector means)
+      : constraint_(std::move(constraint)),
+        names_(std::move(names)),
+        means_(std::move(means)) {}
+
+  SimpleConstraint constraint_;
+  std::vector<std::string> names_;
+  linalg::Vector means_;
+};
+
+}  // namespace ccs::core
+
+#endif  // CCS_CORE_REPAIR_H_

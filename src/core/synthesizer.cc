@@ -1,0 +1,184 @@
+#include "core/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/symmetric_eigen.h"
+
+namespace ccs::core {
+
+namespace {
+
+double RawImportance(ImportanceMapping mapping, double stddev) {
+  switch (mapping) {
+    case ImportanceMapping::kInverseLog:
+      return 1.0 / std::log(2.0 + stddev);
+    case ImportanceMapping::kInverseLinear:
+      return 1.0 / (1.0 + stddev);
+    case ImportanceMapping::kUniform:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+StatusOr<SimpleConstraint> Synthesizer::SynthesizeSimple(
+    const dataframe::DataFrame& df) const {
+  std::vector<std::string> names = df.NumericNames();
+  if (names.empty()) {
+    return Status::InvalidArgument(
+        "SynthesizeSimple: dataset has no numeric attributes");
+  }
+  if (df.num_rows() == 0) {
+    return Status::InvalidArgument("SynthesizeSimple: empty dataset");
+  }
+  // Line 1-2 of Algorithm 1: drop non-numeric attributes, augment with a
+  // ones column — both folded into the streaming Gram accumulator.
+  linalg::GramAccumulator gram(names.size());
+  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names));
+  gram.AddMatrix(data);
+  return SynthesizeSimpleFromGram(names, gram);
+}
+
+StatusOr<SimpleConstraint> Synthesizer::SynthesizeSimpleFromGram(
+    const std::vector<std::string>& attribute_names,
+    const linalg::GramAccumulator& gram) const {
+  if (gram.num_attributes() != attribute_names.size()) {
+    return Status::InvalidArgument(
+        "SynthesizeSimpleFromGram: attribute count mismatch");
+  }
+  if (gram.count() == 0) {
+    return Status::InvalidArgument("SynthesizeSimpleFromGram: no tuples");
+  }
+
+  // Line 3 of Algorithm 1, on mean-centered data: the paper's footnote 2
+  // notes Theorem 13 holds exactly when attribute means are zero and that
+  // centering always achieves this. Centering the ones-augmented Gram
+  // matrix reduces it to the covariance matrix, whose eigenvectors give
+  // projections that are EXACTLY pairwise uncorrelated and include the
+  // minimum-variance one. The additive constant the ones column would
+  // capture is recovered through the bounds (mu(F(D)) = w . means).
+  linalg::Vector means = gram.Means();
+  CCS_ASSIGN_OR_RETURN(linalg::EigenDecomposition eig,
+                       linalg::SymmetricEigen(gram.Covariance()));
+
+  struct Candidate {
+    Projection projection;
+    double mean;
+    double stddev;
+    double raw_importance;
+  };
+  std::vector<Candidate> candidates;
+
+  for (const linalg::EigenPair& pair : eig.pairs) {
+    // Lines 5-6: normalize the coefficient vector (eigenvectors arrive
+    // unit-norm; re-normalize defensively for near-degenerate pairs).
+    linalg::Vector w = pair.eigenvector;
+    double norm = w.Norm();
+    if (norm < options_.min_projection_norm) continue;
+    w.Scale(1.0 / norm);
+
+    double mu = w.Dot(means);
+    // var(F(D)) = w^T Cov w = eigenvalue (w is Cov's unit eigenvector).
+    double var = std::max(pair.eigenvalue, 0.0);
+    double sigma = std::sqrt(var);
+
+    CCS_ASSIGN_OR_RETURN(Projection proj,
+                         Projection::Create(attribute_names, std::move(w)));
+    candidates.push_back(
+        {std::move(proj), mu, sigma,
+         RawImportance(options_.importance_mapping, sigma)});
+  }
+  if (candidates.empty()) {
+    return Status::FailedPrecondition(
+        "SynthesizeSimpleFromGram: no usable projections");
+  }
+
+  // Optional ablation filter: keep only one variance half. Candidates
+  // arrive in ascending-eigenvalue (ascending-variance) order.
+  if (options_.projection_filter != ProjectionFilter::kAll &&
+      candidates.size() > 1) {
+    size_t half = (candidates.size() + 1) / 2;
+    switch (options_.projection_filter) {
+      case ProjectionFilter::kLowVarianceHalf:
+        candidates.resize(half);
+        break;
+      case ProjectionFilter::kHighVarianceHalf:
+        candidates.erase(candidates.begin(),
+                         candidates.end() - static_cast<long>(half));
+        break;
+      case ProjectionFilter::kMinimumVarianceOnly:
+        candidates.resize(1);
+        break;
+      case ProjectionFilter::kAll:
+        break;
+    }
+  }
+
+  // Line 8: normalize importance factors.
+  double z = 0.0;
+  for (const Candidate& c : candidates) z += c.raw_importance;
+
+  std::vector<BoundedConstraint> conjuncts;
+  conjuncts.reserve(candidates.size());
+  const double big_c = options_.bound_multiplier;
+  for (Candidate& c : candidates) {
+    double lb = c.mean - big_c * c.stddev;
+    double ub = c.mean + big_c * c.stddev;
+    conjuncts.emplace_back(std::move(c.projection), lb, ub, c.mean, c.stddev,
+                           c.raw_importance / z);
+  }
+  return SimpleConstraint::Create(attribute_names, std::move(conjuncts));
+}
+
+StatusOr<DisjunctiveConstraint> Synthesizer::SynthesizeDisjunctive(
+    const dataframe::DataFrame& df, const std::string& attribute) const {
+  CCS_ASSIGN_OR_RETURN(auto partitions, df.PartitionBy(attribute));
+  if (partitions.size() > options_.max_categorical_domain) {
+    return Status::InvalidArgument(
+        "SynthesizeDisjunctive: domain of " + attribute + " has " +
+        std::to_string(partitions.size()) + " values, exceeding the limit");
+  }
+  std::map<std::string, SimpleConstraint> cases;
+  for (const auto& [value, part] : partitions) {
+    if (part.num_rows() < options_.min_partition_rows) continue;
+    CCS_ASSIGN_OR_RETURN(SimpleConstraint c, SynthesizeSimple(part));
+    cases.emplace(value, std::move(c));
+  }
+  if (cases.empty()) {
+    return Status::FailedPrecondition(
+        "SynthesizeDisjunctive: every partition of " + attribute +
+        " was below min_partition_rows");
+  }
+  return DisjunctiveConstraint(attribute, std::move(cases));
+}
+
+StatusOr<ConformanceConstraint> Synthesizer::Synthesize(
+    const dataframe::DataFrame& df) const {
+  SimpleConstraint global;
+  if (options_.include_global) {
+    CCS_ASSIGN_OR_RETURN(global, SynthesizeSimple(df));
+  }
+  std::vector<DisjunctiveConstraint> disjunctions;
+  if (options_.include_disjunctive) {
+    for (const std::string& attr : df.CategoricalNames()) {
+      CCS_ASSIGN_OR_RETURN(const dataframe::Column* col,
+                           df.ColumnByName(attr));
+      if (col->DistinctValues().size() > options_.max_categorical_domain) {
+        continue;  // Greedy small-domain rule (§4.2).
+      }
+      auto disj = SynthesizeDisjunctive(df, attr);
+      if (!disj.ok()) continue;  // e.g. all partitions too small.
+      disjunctions.push_back(std::move(disj).value());
+    }
+  }
+  if (!options_.include_global && disjunctions.empty()) {
+    return Status::FailedPrecondition(
+        "Synthesize: no global constraint and no usable categorical "
+        "attribute for disjunctions");
+  }
+  return ConformanceConstraint(std::move(global), std::move(disjunctions));
+}
+
+}  // namespace ccs::core

@@ -1,0 +1,58 @@
+#include "core/tml.h"
+
+namespace ccs::core {
+
+StatusOr<SafetyEnvelope> SafetyEnvelope::Fit(
+    const dataframe::DataFrame& training,
+    const std::vector<std::string>& target_attributes, double unsafe_threshold,
+    SynthesisOptions options) {
+  if (unsafe_threshold < 0.0 || unsafe_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "SafetyEnvelope: unsafe_threshold must be in [0,1]");
+  }
+  dataframe::DataFrame covariates = training;
+  if (!target_attributes.empty()) {
+    CCS_ASSIGN_OR_RETURN(covariates, training.DropColumns(target_attributes));
+  }
+  Synthesizer synthesizer(options);
+  CCS_ASSIGN_OR_RETURN(ConformanceConstraint constraint,
+                       synthesizer.Synthesize(covariates));
+  return SafetyEnvelope(std::move(constraint), unsafe_threshold);
+}
+
+StatusOr<TrustAssessment> SafetyEnvelope::Assess(
+    const dataframe::DataFrame& serving, size_t row) const {
+  CCS_ASSIGN_OR_RETURN(double v, constraint_.Violation(serving, row));
+  TrustAssessment out;
+  out.violation = v;
+  out.trust = 1.0 - v;
+  out.unsafe = v > unsafe_threshold_;
+  return out;
+}
+
+StatusOr<std::vector<TrustAssessment>> SafetyEnvelope::AssessAll(
+    const dataframe::DataFrame& serving) const {
+  CCS_ASSIGN_OR_RETURN(linalg::Vector v, constraint_.ViolationAll(serving));
+  std::vector<TrustAssessment> out(serving.num_rows());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].violation = v[i];
+    out[i].trust = 1.0 - v[i];
+    out[i].unsafe = v[i] > unsafe_threshold_;
+  }
+  return out;
+}
+
+StatusOr<double> SafetyEnvelope::UnsafeFraction(
+    const dataframe::DataFrame& serving) const {
+  if (serving.num_rows() == 0) {
+    return Status::InvalidArgument("UnsafeFraction: empty dataset");
+  }
+  CCS_ASSIGN_OR_RETURN(auto assessments, AssessAll(serving));
+  size_t unsafe = 0;
+  for (const TrustAssessment& a : assessments) {
+    if (a.unsafe) ++unsafe;
+  }
+  return static_cast<double>(unsafe) / static_cast<double>(assessments.size());
+}
+
+}  // namespace ccs::core

@@ -1,0 +1,70 @@
+// Trusted machine learning: unsafe-tuple detection (paper §5).
+//
+// Constraints learned on the TRAINING COVARIATES (never the target, never
+// the model) form a safety envelope. A serving tuple violating them is
+// "unsafe": two models agreeing on all of D may disagree on it
+// (Definition 16), so the deployed model's inference is untrustworthy.
+
+#ifndef CCS_CORE_TML_H_
+#define CCS_CORE_TML_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/constraint.h"
+#include "core/drift.h"
+#include "core/synthesizer.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::core {
+
+/// Verdict for one serving tuple.
+struct TrustAssessment {
+  /// Quantitative violation in [0, 1]; 0 means fully conforming.
+  double violation = 0.0;
+  /// 1 - violation: a calibratable trust proxy (higher = safer).
+  double trust = 1.0;
+  /// violation > threshold.
+  bool unsafe = false;
+};
+
+/// Model-agnostic safety envelope around a training set.
+class SafetyEnvelope {
+ public:
+  /// Learns the envelope from `training`, excluding `target_attributes`
+  /// (the labels the downstream model predicts). `unsafe_threshold` is the
+  /// violation level above which a tuple is flagged unsafe.
+  static StatusOr<SafetyEnvelope> Fit(
+      const dataframe::DataFrame& training,
+      const std::vector<std::string>& target_attributes,
+      double unsafe_threshold = 0.05,
+      SynthesisOptions options = SynthesisOptions());
+
+  /// Assesses row `row` of `serving` (which may still carry the target
+  /// attributes; they are ignored).
+  StatusOr<TrustAssessment> Assess(const dataframe::DataFrame& serving,
+                                   size_t row) const;
+
+  /// Assesses every row.
+  StatusOr<std::vector<TrustAssessment>> AssessAll(
+      const dataframe::DataFrame& serving) const;
+
+  /// Fraction of rows flagged unsafe.
+  StatusOr<double> UnsafeFraction(const dataframe::DataFrame& serving) const;
+
+  const ConformanceConstraint& constraint() const { return constraint_; }
+  double unsafe_threshold() const { return unsafe_threshold_; }
+
+ private:
+  SafetyEnvelope(ConformanceConstraint constraint, double unsafe_threshold)
+      : constraint_(std::move(constraint)),
+        unsafe_threshold_(unsafe_threshold) {}
+
+  ConformanceConstraint constraint_;
+  double unsafe_threshold_;
+};
+
+}  // namespace ccs::core
+
+#endif  // CCS_CORE_TML_H_

@@ -1,0 +1,204 @@
+#include "core/tree.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ccs::core {
+
+namespace {
+
+// Node objective: the standard deviation of the tightest conjunct — the
+// strength of the best constraint available on this partition. Lower is
+// better (Theorem 12: low variance = strong constraint).
+double Objective(const SimpleConstraint& constraint) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const BoundedConstraint& c : constraint.conjuncts()) {
+    best = std::min(best, c.stddev());
+  }
+  return best;
+}
+
+struct SplitCandidate {
+  std::string attribute;
+  double weighted_objective = std::numeric_limits<double>::infinity();
+  std::map<std::string, dataframe::DataFrame> partitions;
+};
+
+}  // namespace
+
+namespace {
+
+StatusOr<std::unique_ptr<TreeNode>> Build(
+    const dataframe::DataFrame& df,
+    std::vector<std::string> available_attributes, size_t depth,
+    const TreeOptions& options, const Synthesizer& synthesizer) {
+  auto node = std::make_unique<TreeNode>();
+  node->num_rows = df.num_rows();
+  CCS_ASSIGN_OR_RETURN(node->constraint, synthesizer.SynthesizeSimple(df));
+
+  if (depth >= options.max_depth || df.num_rows() < options.min_split_rows ||
+      available_attributes.empty()) {
+    return node;
+  }
+  double parent_objective = Objective(node->constraint);
+  if (parent_objective <= 0.0) return node;  // Already an equality.
+
+  // Evaluate every candidate split attribute.
+  SplitCandidate best;
+  for (const std::string& attr : available_attributes) {
+    auto partitions = df.PartitionBy(attr);
+    if (!partitions.ok()) continue;
+    if (partitions->size() < 2 ||
+        partitions->size() > options.synthesis.max_categorical_domain) {
+      continue;
+    }
+    bool viable = true;
+    double weighted = 0.0;
+    for (const auto& [value, part] : *partitions) {
+      if (part.num_rows() < options.min_leaf_rows) {
+        viable = false;
+        break;
+      }
+      auto child_constraint = synthesizer.SynthesizeSimple(part);
+      if (!child_constraint.ok()) {
+        viable = false;
+        break;
+      }
+      weighted += Objective(*child_constraint) *
+                  static_cast<double>(part.num_rows()) /
+                  static_cast<double>(df.num_rows());
+    }
+    if (!viable) continue;
+    if (weighted < best.weighted_objective) {
+      best.attribute = attr;
+      best.weighted_objective = weighted;
+      best.partitions = std::move(partitions).value();
+    }
+  }
+
+  if (best.attribute.empty()) return node;
+  double gain = (parent_objective - best.weighted_objective) /
+                parent_objective;
+  if (gain < options.min_relative_gain) return node;
+
+  // Accept the split; the attribute is consumed along this path.
+  node->split_attribute = best.attribute;
+  std::vector<std::string> remaining;
+  for (const std::string& attr : available_attributes) {
+    if (attr != best.attribute) remaining.push_back(attr);
+  }
+  for (auto& [value, part] : best.partitions) {
+    CCS_ASSIGN_OR_RETURN(
+        std::unique_ptr<TreeNode> child,
+        Build(part, remaining, depth + 1, options, synthesizer));
+    node->children.emplace(value, std::move(child));
+  }
+  return node;
+}
+
+}  // namespace
+
+StatusOr<ConstraintTree> ConstraintTree::Fit(const dataframe::DataFrame& df,
+                                             const TreeOptions& options) {
+  if (df.num_rows() == 0) {
+    return Status::InvalidArgument("ConstraintTree::Fit: empty dataset");
+  }
+  Synthesizer synthesizer(options.synthesis);
+  std::vector<std::string> categorical = df.CategoricalNames();
+  CCS_ASSIGN_OR_RETURN(
+      std::unique_ptr<TreeNode> root,
+      Build(df, std::move(categorical), 0, options, synthesizer));
+  return ConstraintTree(std::move(root), options);
+}
+
+StatusOr<double> ConstraintTree::Violation(const dataframe::DataFrame& df,
+                                           size_t row) const {
+  if (row >= df.num_rows()) {
+    return Status::OutOfRange("ConstraintTree::Violation: row out of range");
+  }
+  const TreeNode* node = root_.get();
+  while (!node->is_leaf()) {
+    auto value = df.CategoricalValue(row, node->split_attribute);
+    if (!value.ok()) break;  // Attribute absent: score at this node.
+    auto it = node->children.find(*value);
+    if (it == node->children.end()) {
+      // Unseen branch value: the quantitative analogue of an undefined
+      // simp — blend this node's (fallback) violation with the penalty.
+      CCS_ASSIGN_OR_RETURN(double fallback, node->constraint.Violation(df, row));
+      return 0.5 * fallback + 0.5 * options_.unseen_value_penalty;
+    }
+    node = it->second.get();
+  }
+  return node->constraint.Violation(df, row);
+}
+
+StatusOr<linalg::Vector> ConstraintTree::ViolationAll(
+    const dataframe::DataFrame& df) const {
+  linalg::Vector out(df.num_rows());
+  for (size_t i = 0; i < df.num_rows(); ++i) {
+    CCS_ASSIGN_OR_RETURN(out[i], Violation(df, i));
+  }
+  return out;
+}
+
+StatusOr<double> ConstraintTree::MeanViolation(
+    const dataframe::DataFrame& df) const {
+  if (df.num_rows() == 0) {
+    return Status::InvalidArgument("ConstraintTree: empty dataset");
+  }
+  CCS_ASSIGN_OR_RETURN(linalg::Vector v, ViolationAll(df));
+  return v.Mean();
+}
+
+namespace {
+
+void CountLeaves(const TreeNode& node, size_t* leaves) {
+  if (node.is_leaf()) {
+    ++*leaves;
+    return;
+  }
+  for (const auto& [value, child] : node.children) {
+    CountLeaves(*child, leaves);
+  }
+}
+
+size_t Depth(const TreeNode& node) {
+  size_t best = 0;
+  for (const auto& [value, child] : node.children) {
+    best = std::max(best, 1 + Depth(*child));
+  }
+  return best;
+}
+
+void Render(const TreeNode& node, const std::string& indent,
+            std::ostringstream& os) {
+  if (node.is_leaf()) {
+    os << indent << "leaf (" << node.num_rows << " rows, "
+       << node.constraint.conjuncts().size() << " conjuncts)\n";
+    return;
+  }
+  os << indent << "split on " << node.split_attribute << " ("
+     << node.num_rows << " rows)\n";
+  for (const auto& [value, child] : node.children) {
+    os << indent << "  = " << value << ":\n";
+    Render(*child, indent + "    ", os);
+  }
+}
+
+}  // namespace
+
+size_t ConstraintTree::num_leaves() const {
+  size_t leaves = 0;
+  CountLeaves(*root_, &leaves);
+  return leaves;
+}
+
+size_t ConstraintTree::depth() const { return Depth(*root_); }
+
+std::string ConstraintTree::ToString() const {
+  std::ostringstream os;
+  Render(*root_, "", os);
+  return os.str();
+}
+
+}  // namespace ccs::core

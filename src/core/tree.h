@@ -1,0 +1,105 @@
+// Decision-tree-structured conformance constraints (paper §8 future
+// work: "learn conformance constraints in a decision-tree-like structure
+// where categorical attributes will guide the splitting conditions and
+// leaves will contain simple conformance constraints").
+//
+// Unlike the flat disjunction set of §4.2 — which partitions on every
+// small-domain categorical attribute independently — the tree chooses the
+// split attribute GREEDILY by variance reduction: at each node it splits
+// on the categorical attribute whose partitions have the smallest
+// row-weighted sum of minimum projection variances, and recurses until no
+// split helps, no attribute remains, or the partition is too small. Each
+// leaf holds the simple constraint of its partition.
+//
+// Evaluation routes a tuple down the tree by its categorical values; an
+// unseen branch value falls back to the deepest ancestor's constraint
+// blended with a miss penalty (quantitative-semantics analogue of the
+// undefined-simp rule).
+
+#ifndef CCS_CORE_TREE_H_
+#define CCS_CORE_TREE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/constraint.h"
+#include "core/synthesizer.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::core {
+
+/// Options for tree induction.
+struct TreeOptions {
+  /// Underlying simple-constraint synthesis options.
+  SynthesisOptions synthesis;
+  /// Do not split nodes with fewer rows than this.
+  size_t min_split_rows = 40;
+  /// Do not create children smaller than this.
+  size_t min_leaf_rows = 10;
+  /// Maximum tree depth (root = 0).
+  size_t max_depth = 4;
+  /// Required relative reduction of the variance objective for a split
+  /// to be accepted (guards against pointless fragmentation).
+  double min_relative_gain = 0.05;
+  /// Violation assessed when a tuple reaches a branch value unseen in
+  /// training (mixed into the ancestor fallback).
+  double unseen_value_penalty = 1.0;
+};
+
+/// A node of the constraint tree.
+struct TreeNode {
+  /// Constraint over this node's partition (kept at internal nodes too,
+  /// as the fallback for unseen branch values).
+  SimpleConstraint constraint;
+  /// Rows of the training partition that reached this node.
+  size_t num_rows = 0;
+  /// Empty for leaves; otherwise the categorical split attribute.
+  std::string split_attribute;
+  /// Children by split-attribute value.
+  std::map<std::string, std::unique_ptr<TreeNode>> children;
+
+  bool is_leaf() const { return split_attribute.empty(); }
+};
+
+/// A conformance-constraint tree.
+class ConstraintTree {
+ public:
+  /// Induces a tree over `df` (needs >= 1 numeric attribute; categorical
+  /// attributes with domain <= synthesis.max_categorical_domain are
+  /// split candidates).
+  static StatusOr<ConstraintTree> Fit(const dataframe::DataFrame& df,
+                                      const TreeOptions& options = {});
+
+  /// Quantitative violation of row `row` of `df`, in [0, 1].
+  StatusOr<double> Violation(const dataframe::DataFrame& df,
+                             size_t row) const;
+
+  /// Violations of every row.
+  StatusOr<linalg::Vector> ViolationAll(const dataframe::DataFrame& df) const;
+
+  /// Mean violation (dataset-level drift against the tree's profile).
+  StatusOr<double> MeanViolation(const dataframe::DataFrame& df) const;
+
+  const TreeNode& root() const { return *root_; }
+
+  /// Number of leaves / maximum depth (diagnostics).
+  size_t num_leaves() const;
+  size_t depth() const;
+
+  /// Indented rendering of the tree structure.
+  std::string ToString() const;
+
+ private:
+  ConstraintTree(std::unique_ptr<TreeNode> root, TreeOptions options)
+      : root_(std::move(root)), options_(options) {}
+
+  std::shared_ptr<TreeNode> root_;
+  TreeOptions options_;
+};
+
+}  // namespace ccs::core
+
+#endif  // CCS_CORE_TREE_H_

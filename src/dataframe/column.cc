@@ -1,0 +1,47 @@
+#include "dataframe/column.h"
+
+#include <unordered_set>
+
+namespace ccs::dataframe {
+
+Column Column::Numeric(std::vector<double> values) {
+  Column col(AttributeType::kNumeric);
+  col.numeric_ = std::move(values);
+  return col;
+}
+
+Column Column::Categorical(std::vector<std::string> values) {
+  Column col(AttributeType::kCategorical);
+  col.categorical_ = std::move(values);
+  return col;
+}
+
+std::vector<std::string> Column::DistinctValues() const {
+  CCS_CHECK(!is_numeric());
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const std::string& v : categorical_) {
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+Column Column::Gather(const std::vector<size_t>& indices) const {
+  Column out(type_);
+  if (is_numeric()) {
+    out.numeric_.reserve(indices.size());
+    for (size_t i : indices) {
+      CCS_DCHECK(i < numeric_.size());
+      out.numeric_.push_back(numeric_[i]);
+    }
+  } else {
+    out.categorical_.reserve(indices.size());
+    for (size_t i : indices) {
+      CCS_DCHECK(i < categorical_.size());
+      out.categorical_.push_back(categorical_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ccs::dataframe

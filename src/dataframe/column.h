@@ -1,0 +1,90 @@
+// Typed column storage: a column is either all-numeric or all-categorical.
+
+#ifndef CCS_DATAFRAME_COLUMN_H_
+#define CCS_DATAFRAME_COLUMN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "dataframe/schema.h"
+#include "linalg/vector.h"
+
+namespace ccs::dataframe {
+
+/// A single column of a DataFrame.
+///
+/// Stores doubles for numeric columns and strings for categorical ones;
+/// exactly one of the two buffers is in use, selected by type().
+class Column {
+ public:
+  /// An empty column of the given type.
+  explicit Column(AttributeType type) : type_(type) {}
+
+  /// A numeric column adopting `values`.
+  static Column Numeric(std::vector<double> values);
+
+  /// A categorical column adopting `values`.
+  static Column Categorical(std::vector<std::string> values);
+
+  AttributeType type() const { return type_; }
+  bool is_numeric() const { return type_ == AttributeType::kNumeric; }
+
+  size_t size() const {
+    return is_numeric() ? numeric_.size() : categorical_.size();
+  }
+
+  /// Numeric element access. Requires is_numeric().
+  double NumericAt(size_t i) const {
+    CCS_DCHECK(is_numeric());
+    return numeric_[i];
+  }
+
+  /// Categorical element access. Requires !is_numeric().
+  const std::string& CategoricalAt(size_t i) const {
+    CCS_DCHECK(!is_numeric());
+    return categorical_[i];
+  }
+
+  /// Appends to a numeric column.
+  void AppendNumeric(double value) {
+    CCS_DCHECK(is_numeric());
+    numeric_.push_back(value);
+  }
+
+  /// Appends to a categorical column.
+  void AppendCategorical(std::string value) {
+    CCS_DCHECK(!is_numeric());
+    categorical_.push_back(std::move(value));
+  }
+
+  /// The numeric buffer as a linalg::Vector copy. Requires is_numeric().
+  linalg::Vector ToVector() const {
+    CCS_CHECK(is_numeric());
+    return linalg::Vector(numeric_);
+  }
+
+  const std::vector<double>& numeric_data() const {
+    CCS_DCHECK(is_numeric());
+    return numeric_;
+  }
+  const std::vector<std::string>& categorical_data() const {
+    CCS_DCHECK(!is_numeric());
+    return categorical_;
+  }
+
+  /// Distinct values of a categorical column, in first-appearance order.
+  std::vector<std::string> DistinctValues() const;
+
+  /// A new column containing rows[i] for each i in `indices`.
+  Column Gather(const std::vector<size_t>& indices) const;
+
+ private:
+  AttributeType type_;
+  std::vector<double> numeric_;
+  std::vector<std::string> categorical_;
+};
+
+}  // namespace ccs::dataframe
+
+#endif  // CCS_DATAFRAME_COLUMN_H_

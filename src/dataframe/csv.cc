@@ -1,0 +1,199 @@
+#include "dataframe/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ccs::dataframe {
+
+namespace {
+
+// Parses one logical CSV record (possibly spanning physical lines when a
+// quoted field contains newlines). Returns false at end of stream with no
+// data consumed.
+StatusOr<bool> ReadRecord(std::istream& in, char delimiter,
+                          std::vector<std::string>* fields) {
+  fields->clear();
+  int first = in.peek();
+  if (first == std::char_traits<char>::eof()) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  char c;
+  while (in.get(c)) {
+    saw_any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      break;
+    } else if (c == '\r') {
+      if (in.peek() == '\n') in.get(c);
+      break;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV: unterminated quoted field");
+  }
+  if (!saw_any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+StatusOr<DataFrame> ReadCsv(std::istream& in, const CsvOptions& options) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> cells;  // Column-major.
+  size_t num_cols = 0;
+  size_t row_index = 0;
+
+  std::vector<std::string> record;
+  while (true) {
+    CCS_ASSIGN_OR_RETURN(bool got, ReadRecord(in, options.delimiter, &record));
+    if (!got) break;
+    if (row_index == 0) {
+      num_cols = record.size();
+      cells.resize(num_cols);
+      if (options.has_header) {
+        header = record;
+        ++row_index;
+        continue;
+      }
+    }
+    if (record.size() != num_cols) {
+      return Status::InvalidArgument(
+          "CSV: row " + std::to_string(row_index) + " has " +
+          std::to_string(record.size()) + " fields, expected " +
+          std::to_string(num_cols));
+    }
+    for (size_t c = 0; c < num_cols; ++c) {
+      cells[c].push_back(std::move(record[c]));
+    }
+    ++row_index;
+  }
+
+  if (num_cols == 0) {
+    return Status::InvalidArgument("CSV: empty input");
+  }
+  if (header.empty()) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      header.push_back("c" + std::to_string(c));
+    }
+  }
+
+  DataFrame df;
+  for (size_t c = 0; c < num_cols; ++c) {
+    bool numeric = options.infer_types && !cells[c].empty();
+    if (options.infer_types) {
+      bool any_value = false;
+      for (const std::string& cell : cells[c]) {
+        if (Trim(cell).empty()) continue;
+        any_value = true;
+        if (!ParseDouble(cell).has_value()) {
+          numeric = false;
+          break;
+        }
+      }
+      if (!any_value) numeric = false;  // All-empty column: categorical.
+    } else {
+      numeric = false;
+    }
+    if (numeric) {
+      std::vector<double> values;
+      values.reserve(cells[c].size());
+      for (const std::string& cell : cells[c]) {
+        auto parsed = ParseDouble(cell);
+        values.push_back(parsed.value_or(options.missing_numeric));
+      }
+      CCS_RETURN_IF_ERROR(df.AddNumericColumn(header[c], std::move(values)));
+    } else {
+      CCS_RETURN_IF_ERROR(
+          df.AddCategoricalColumn(header[c], std::move(cells[c])));
+    }
+  }
+  return df;
+}
+
+StatusOr<DataFrame> ReadCsvFile(const std::string& path,
+                                const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  return ReadCsv(in, options);
+}
+
+namespace {
+
+void WriteField(std::ostream& out, const std::string& field, char delimiter) {
+  bool needs_quotes = field.find(delimiter) != std::string::npos ||
+                      field.find('"') != std::string::npos ||
+                      field.find('\n') != std::string::npos ||
+                      field.find('\r') != std::string::npos;
+  if (!needs_quotes) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Status WriteCsv(const DataFrame& df, std::ostream& out,
+                const CsvOptions& options) {
+  const char d = options.delimiter;
+  if (options.has_header) {
+    for (size_t c = 0; c < df.num_columns(); ++c) {
+      if (c > 0) out << d;
+      WriteField(out, df.schema().attribute(c).name, d);
+    }
+    out << '\n';
+  }
+  for (size_t r = 0; r < df.num_rows(); ++r) {
+    for (size_t c = 0; c < df.num_columns(); ++c) {
+      if (c > 0) out << d;
+      const Column& col = df.column(c);
+      if (col.is_numeric()) {
+        out << FormatDouble(col.NumericAt(r));
+      } else {
+        WriteField(out, col.CategoricalAt(r), d);
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const DataFrame& df, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open file for write: " + path);
+  return WriteCsv(df, out, options);
+}
+
+}  // namespace ccs::dataframe

@@ -1,0 +1,51 @@
+// CSV reader (with type inference) and writer for DataFrames.
+
+#ifndef CCS_DATAFRAME_CSV_H_
+#define CCS_DATAFRAME_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/statusor.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::dataframe {
+
+/// CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line holds column names. When false, columns are named c0..cK.
+  bool has_header = true;
+  /// A column is inferred numeric iff every non-empty cell parses as a
+  /// double; otherwise it is categorical. When false, all columns are
+  /// categorical.
+  bool infer_types = true;
+  /// Replacement for empty cells in a column inferred numeric.
+  double missing_numeric = 0.0;
+};
+
+/// Parses a CSV stream into a DataFrame.
+///
+/// Supports RFC-4180-style double-quoted fields with embedded delimiters,
+/// quotes ("" escaping), and newlines. Returns InvalidArgument on ragged
+/// rows or unterminated quotes.
+StatusOr<DataFrame> ReadCsv(std::istream& in,
+                            const CsvOptions& options = CsvOptions());
+
+/// Reads a CSV file from disk. IoError if the file cannot be opened.
+StatusOr<DataFrame> ReadCsvFile(const std::string& path,
+                                const CsvOptions& options = CsvOptions());
+
+/// Writes a DataFrame as CSV (header row + data rows). Fields containing
+/// the delimiter, quotes, or newlines are quoted.
+Status WriteCsv(const DataFrame& df, std::ostream& out,
+                const CsvOptions& options = CsvOptions());
+
+/// Writes a DataFrame to a file.
+Status WriteCsvFile(const DataFrame& df, const std::string& path,
+                    const CsvOptions& options = CsvOptions());
+
+}  // namespace ccs::dataframe
+
+#endif  // CCS_DATAFRAME_CSV_H_

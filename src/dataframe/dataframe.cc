@@ -1,0 +1,248 @@
+#include "dataframe/dataframe.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ccs::dataframe {
+
+Status DataFrame::CheckNewColumn(const std::string& name,
+                                 size_t length) const {
+  if (schema_.Contains(name)) {
+    return Status::AlreadyExists("column already exists: " + name);
+  }
+  if (!columns_.empty() && length != num_rows_) {
+    return Status::InvalidArgument(
+        "column " + name + " has length " + std::to_string(length) +
+        " but the frame has " + std::to_string(num_rows_) + " rows");
+  }
+  return Status::OK();
+}
+
+Status DataFrame::AddNumericColumn(const std::string& name,
+                                   std::vector<double> values) {
+  CCS_RETURN_IF_ERROR(CheckNewColumn(name, values.size()));
+  num_rows_ = values.size();
+  CCS_RETURN_IF_ERROR(schema_.AddAttribute(name, AttributeType::kNumeric));
+  columns_.push_back(Column::Numeric(std::move(values)));
+  return Status::OK();
+}
+
+Status DataFrame::AddCategoricalColumn(const std::string& name,
+                                       std::vector<std::string> values) {
+  CCS_RETURN_IF_ERROR(CheckNewColumn(name, values.size()));
+  num_rows_ = values.size();
+  CCS_RETURN_IF_ERROR(schema_.AddAttribute(name, AttributeType::kCategorical));
+  columns_.push_back(Column::Categorical(std::move(values)));
+  return Status::OK();
+}
+
+StatusOr<const Column*> DataFrame::ColumnByName(const std::string& name) const {
+  CCS_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(name));
+  return &columns_[idx];
+}
+
+StatusOr<double> DataFrame::NumericValue(size_t row,
+                                         const std::string& name) const {
+  CCS_ASSIGN_OR_RETURN(const Column* col, ColumnByName(name));
+  if (!col->is_numeric()) {
+    return Status::InvalidArgument("column is not numeric: " + name);
+  }
+  if (row >= num_rows_) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  return col->NumericAt(row);
+}
+
+StatusOr<std::string> DataFrame::CategoricalValue(
+    size_t row, const std::string& name) const {
+  CCS_ASSIGN_OR_RETURN(const Column* col, ColumnByName(name));
+  if (col->is_numeric()) {
+    return Status::InvalidArgument("column is not categorical: " + name);
+  }
+  if (row >= num_rows_) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  return col->CategoricalAt(row);
+}
+
+linalg::Vector DataFrame::NumericRow(size_t row) const {
+  CCS_CHECK(row < num_rows_);
+  std::vector<size_t> numeric = schema_.NumericIndices();
+  linalg::Vector out(numeric.size());
+  for (size_t i = 0; i < numeric.size(); ++i) {
+    out[i] = columns_[numeric[i]].NumericAt(row);
+  }
+  return out;
+}
+
+linalg::Matrix DataFrame::NumericMatrix() const {
+  std::vector<size_t> numeric = schema_.NumericIndices();
+  linalg::Matrix out(num_rows_, numeric.size());
+  for (size_t j = 0; j < numeric.size(); ++j) {
+    const Column& col = columns_[numeric[j]];
+    for (size_t i = 0; i < num_rows_; ++i) out.At(i, j) = col.NumericAt(i);
+  }
+  return out;
+}
+
+StatusOr<linalg::Matrix> DataFrame::NumericMatrixFor(
+    const std::vector<std::string>& names) const {
+  linalg::Matrix out(num_rows_, names.size());
+  for (size_t j = 0; j < names.size(); ++j) {
+    CCS_ASSIGN_OR_RETURN(const Column* col, ColumnByName(names[j]));
+    if (!col->is_numeric()) {
+      return Status::InvalidArgument("column is not numeric: " + names[j]);
+    }
+    for (size_t i = 0; i < num_rows_; ++i) out.At(i, j) = col->NumericAt(i);
+  }
+  return out;
+}
+
+std::vector<std::string> DataFrame::NumericNames() const {
+  std::vector<std::string> out;
+  for (size_t i : schema_.NumericIndices()) {
+    out.push_back(schema_.attribute(i).name);
+  }
+  return out;
+}
+
+std::vector<std::string> DataFrame::CategoricalNames() const {
+  std::vector<std::string> out;
+  for (size_t i : schema_.CategoricalIndices()) {
+    out.push_back(schema_.attribute(i).name);
+  }
+  return out;
+}
+
+DataFrame DataFrame::Filter(
+    const std::function<bool(size_t)>& predicate) const {
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (predicate(i)) keep.push_back(i);
+  }
+  return Gather(keep);
+}
+
+DataFrame DataFrame::Slice(size_t begin, size_t end) const {
+  begin = std::min(begin, num_rows_);
+  end = std::min(std::max(end, begin), num_rows_);
+  std::vector<size_t> keep;
+  keep.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) keep.push_back(i);
+  return Gather(keep);
+}
+
+DataFrame DataFrame::Gather(const std::vector<size_t>& indices) const {
+  DataFrame out;
+  out.schema_ = schema_;
+  out.num_rows_ = indices.size();
+  out.columns_.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    out.columns_.push_back(col.Gather(indices));
+  }
+  return out;
+}
+
+DataFrame DataFrame::Sample(size_t k, Rng* rng) const {
+  k = std::min(k, num_rows_);
+  std::vector<size_t> perm = rng->Permutation(num_rows_);
+  perm.resize(k);
+  return Gather(perm);
+}
+
+StatusOr<DataFrame> DataFrame::Concat(const DataFrame& other) const {
+  if (!(schema_ == other.schema_)) {
+    return Status::InvalidArgument("Concat: schema mismatch");
+  }
+  DataFrame out = *this;
+  out.num_rows_ += other.num_rows_;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Column& dst = out.columns_[c];
+    const Column& src = other.columns_[c];
+    if (dst.is_numeric()) {
+      for (size_t i = 0; i < other.num_rows_; ++i) {
+        dst.AppendNumeric(src.NumericAt(i));
+      }
+    } else {
+      for (size_t i = 0; i < other.num_rows_; ++i) {
+        dst.AppendCategorical(src.CategoricalAt(i));
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::map<std::string, DataFrame>> DataFrame::PartitionBy(
+    const std::string& attribute) const {
+  CCS_ASSIGN_OR_RETURN(const Column* col, ColumnByName(attribute));
+  if (col->is_numeric()) {
+    return Status::InvalidArgument(
+        "PartitionBy requires a categorical attribute: " + attribute);
+  }
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    groups[col->CategoricalAt(i)].push_back(i);
+  }
+  std::map<std::string, DataFrame> out;
+  for (const auto& [value, indices] : groups) {
+    out.emplace(value, Gather(indices));
+  }
+  return out;
+}
+
+StatusOr<DataFrame> DataFrame::DropColumns(
+    const std::vector<std::string>& names) const {
+  for (const std::string& name : names) {
+    if (!schema_.Contains(name)) {
+      return Status::NotFound("DropColumns: no column named " + name);
+    }
+  }
+  DataFrame out;
+  out.num_rows_ = num_rows_;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const std::string& name = schema_.attribute(i).name;
+    if (std::find(names.begin(), names.end(), name) != names.end()) continue;
+    CCS_RETURN_IF_ERROR(out.schema_.AddAttribute(name, columns_[i].type()));
+    out.columns_.push_back(columns_[i]);
+  }
+  return out;
+}
+
+StatusOr<DataFrame> DataFrame::SelectColumns(
+    const std::vector<std::string>& names) const {
+  DataFrame out;
+  out.num_rows_ = num_rows_;
+  for (const std::string& name : names) {
+    CCS_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(name));
+    CCS_RETURN_IF_ERROR(
+        out.schema_.AddAttribute(name, columns_[idx].type()));
+    out.columns_.push_back(columns_[idx]);
+  }
+  return out;
+}
+
+std::string DataFrame::Describe() const {
+  std::ostringstream os;
+  os << "DataFrame: " << num_rows_ << " rows x " << columns_.size()
+     << " columns\n";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Attribute& attr = schema_.attribute(i);
+    os << "  " << attr.name << " (" << AttributeTypeToString(attr.type)
+       << ")";
+    if (columns_[i].is_numeric() && num_rows_ > 0) {
+      linalg::Vector v = columns_[i].ToVector();
+      os << " mean=" << FormatDouble(v.Mean())
+         << " std=" << FormatDouble(v.StdDev())
+         << " min=" << FormatDouble(v.Min())
+         << " max=" << FormatDouble(v.Max());
+    } else if (!columns_[i].is_numeric()) {
+      os << " distinct=" << columns_[i].DistinctValues().size();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ccs::dataframe

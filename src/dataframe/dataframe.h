@@ -1,0 +1,115 @@
+// DataFrame: the in-memory relation the whole pipeline operates on.
+
+#ifndef CCS_DATAFRAME_DATAFRAME_H_
+#define CCS_DATAFRAME_DATAFRAME_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "dataframe/column.h"
+#include "dataframe/schema.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace ccs::dataframe {
+
+/// A column-oriented table with a typed schema.
+///
+/// Columns are appended via AddNumericColumn / AddCategoricalColumn; all
+/// columns must have equal length (checked). Row-subset operations
+/// (Filter/Slice/Sample/PartitionBy) return new DataFrames sharing nothing
+/// with the source (value semantics — datasets in this problem domain are
+/// modest and the benchmarks measure the constraint pipeline, not the
+/// table layer).
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Appends a numeric column. Fails if the name exists or the length
+  /// disagrees with existing columns.
+  Status AddNumericColumn(const std::string& name,
+                          std::vector<double> values);
+
+  /// Appends a categorical column under the same rules.
+  Status AddCategoricalColumn(const std::string& name,
+                              std::vector<std::string> values);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Column lookup by name.
+  StatusOr<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Numeric value at (row, column-name). Fails if the column is missing
+  /// or categorical, or the row is out of range.
+  StatusOr<double> NumericValue(size_t row, const std::string& name) const;
+
+  /// Categorical value at (row, column-name).
+  StatusOr<std::string> CategoricalValue(size_t row,
+                                         const std::string& name) const;
+
+  /// The numeric attributes of row `row`, in schema order of the numeric
+  /// columns (the "tuple" the conformance machinery evaluates).
+  linalg::Vector NumericRow(size_t row) const;
+
+  /// All numeric columns as an n x m_N matrix (schema order).
+  linalg::Matrix NumericMatrix() const;
+
+  /// Selected columns (all must be numeric) as an n x k matrix.
+  StatusOr<linalg::Matrix> NumericMatrixFor(
+      const std::vector<std::string>& names) const;
+
+  /// Names of numeric / categorical columns in schema order.
+  std::vector<std::string> NumericNames() const;
+  std::vector<std::string> CategoricalNames() const;
+
+  /// Rows for which `predicate(row_index)` is true.
+  DataFrame Filter(const std::function<bool(size_t)>& predicate) const;
+
+  /// Rows [begin, end).
+  DataFrame Slice(size_t begin, size_t end) const;
+
+  /// The rows at `indices`, in the given order (repeats allowed).
+  DataFrame Gather(const std::vector<size_t>& indices) const;
+
+  /// `k` rows sampled uniformly without replacement; k is clamped to
+  /// num_rows().
+  DataFrame Sample(size_t k, Rng* rng) const;
+
+  /// Row-wise concatenation; schemas must match exactly.
+  StatusOr<DataFrame> Concat(const DataFrame& other) const;
+
+  /// Splits on a categorical attribute: value -> sub-DataFrame (paper
+  /// §4.2 partitioning step). Fails if the attribute is not categorical.
+  StatusOr<std::map<std::string, DataFrame>> PartitionBy(
+      const std::string& attribute) const;
+
+  /// A copy without the named columns (e.g. dropping the prediction
+  /// target before constraint synthesis). Missing names are errors.
+  StatusOr<DataFrame> DropColumns(const std::vector<std::string>& names) const;
+
+  /// A copy with only the named columns, in the given order.
+  StatusOr<DataFrame> SelectColumns(
+      const std::vector<std::string>& names) const;
+
+  /// Human-readable summary: per-column type, count, and basic stats.
+  std::string Describe() const;
+
+ private:
+  Status CheckNewColumn(const std::string& name, size_t length) const;
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace ccs::dataframe
+
+#endif  // CCS_DATAFRAME_DATAFRAME_H_

@@ -1,0 +1,66 @@
+// Relation schema: ordered, named, typed attributes.
+
+#ifndef CCS_DATAFRAME_SCHEMA_H_
+#define CCS_DATAFRAME_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace ccs::dataframe {
+
+/// Attribute types distinguished by the conformance-constraint pipeline:
+/// projections are built over numeric attributes only; disjunctive
+/// constraints partition on categorical attributes (paper §4.2).
+enum class AttributeType {
+  kNumeric,
+  kCategorical,
+};
+
+const char* AttributeTypeToString(AttributeType type);
+
+/// One named, typed attribute.
+struct Attribute {
+  std::string name;
+  AttributeType type;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of attributes with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// Appends an attribute. Returns AlreadyExists on duplicate name.
+  Status AddAttribute(std::string name, AttributeType type);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`; NotFound if absent.
+  StatusOr<size_t> IndexOf(const std::string& name) const;
+
+  /// True if an attribute named `name` exists.
+  bool Contains(const std::string& name) const;
+
+  /// Indices of all numeric / categorical attributes, in schema order.
+  std::vector<size_t> NumericIndices() const;
+  std::vector<size_t> CategoricalIndices() const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace ccs::dataframe
+
+#endif  // CCS_DATAFRAME_SCHEMA_H_

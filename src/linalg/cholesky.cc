@@ -1,0 +1,78 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace ccs::linalg {
+
+StatusOr<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("CholeskyFactor: matrix must be square");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a.At(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l.At(j, k) * l.At(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition(
+          "CholeskyFactor: matrix is not positive definite");
+    }
+    l.At(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l.At(i, k) * l.At(j, k);
+      l.At(i, j) = acc / l.At(j, j);
+    }
+  }
+  return l;
+}
+
+StatusOr<Vector> CholeskySolve(const Matrix& l, const Vector& b) {
+  const size_t n = l.rows();
+  if (l.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("CholeskySolve: dimension mismatch");
+  }
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t k = 0; k < i; ++k) acc -= l.At(i, k) * y[k];
+    y[i] = acc / l.At(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double acc = y[i];
+    for (size_t k = i + 1; k < n; ++k) acc -= l.At(k, i) * x[k];
+    x[i] = acc / l.At(i, i);
+  }
+  return x;
+}
+
+StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  CCS_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  return CholeskySolve(l, b);
+}
+
+StatusOr<Matrix> InverseSpd(const Matrix& a) {
+  CCS_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  const size_t n = a.rows();
+  Matrix inv(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    Vector e(n);
+    e[j] = 1.0;
+    CCS_ASSIGN_OR_RETURN(Vector col, CholeskySolve(l, e));
+    for (size_t i = 0; i < n; ++i) inv.At(i, j) = col[i];
+  }
+  return inv;
+}
+
+StatusOr<double> LogDetSpd(const Matrix& a) {
+  CCS_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  double acc = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) acc += std::log(l.At(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace ccs::linalg

@@ -1,0 +1,37 @@
+// Cholesky factorization, linear solves, and SPD inverse.
+//
+// Used by the OLS/ridge regressors (normal equations) and by the PCA-SPLL
+// baseline (inverse covariance in the log-likelihood).
+
+#ifndef CCS_LINALG_CHOLESKY_H_
+#define CCS_LINALG_CHOLESKY_H_
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace ccs::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+///
+/// Returns InvalidArgument for non-square/asymmetric input and
+/// FailedPrecondition if A is not positive definite (callers typically
+/// retry with a ridge term added to the diagonal).
+StatusOr<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b given the Cholesky factor L of A.
+StatusOr<Vector> CholeskySolve(const Matrix& l, const Vector& b);
+
+/// Solves the SPD system A x = b (factor + solve).
+StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+/// Inverse of an SPD matrix via Cholesky.
+StatusOr<Matrix> InverseSpd(const Matrix& a);
+
+/// log(det(A)) of an SPD matrix via its Cholesky factor (numerically safe
+/// for near-singular covariance matrices used in SPLL).
+StatusOr<double> LogDetSpd(const Matrix& a);
+
+}  // namespace ccs::linalg
+
+#endif  // CCS_LINALG_CHOLESKY_H_

@@ -1,0 +1,71 @@
+#include "linalg/gram.h"
+
+namespace ccs::linalg {
+
+GramAccumulator::GramAccumulator(size_t num_attributes)
+    : m_(num_attributes), n_(0), sum_(num_attributes + 1, num_attributes + 1) {}
+
+void GramAccumulator::Add(const Vector& tuple) {
+  CCS_CHECK_EQ(tuple.size(), m_);
+  // Augmented tuple is (1, t0, ..., t_{m-1}); accumulate its outer product.
+  sum_.At(0, 0) += 1.0;
+  for (size_t i = 0; i < m_; ++i) {
+    sum_.At(0, i + 1) += tuple[i];
+    sum_.At(i + 1, 0) += tuple[i];
+    for (size_t j = i; j < m_; ++j) {
+      double prod = tuple[i] * tuple[j];
+      sum_.At(i + 1, j + 1) += prod;
+      if (j != i) sum_.At(j + 1, i + 1) += prod;
+    }
+  }
+  ++n_;
+}
+
+void GramAccumulator::AddMatrix(const Matrix& data) {
+  CCS_CHECK_EQ(data.cols(), m_);
+  for (size_t r = 0; r < data.rows(); ++r) Add(data.Row(r));
+}
+
+Status GramAccumulator::Merge(const GramAccumulator& other) {
+  if (other.m_ != m_) {
+    return Status::InvalidArgument(
+        "GramAccumulator::Merge: attribute count mismatch");
+  }
+  sum_ = sum_.Add(other.sum_);
+  n_ += other.n_;
+  return Status::OK();
+}
+
+Matrix GramAccumulator::AugmentedGram() const { return sum_; }
+
+Matrix GramAccumulator::Gram() const {
+  Matrix out(m_, m_);
+  for (size_t i = 0; i < m_; ++i) {
+    for (size_t j = 0; j < m_; ++j) out.At(i, j) = sum_.At(i + 1, j + 1);
+  }
+  return out;
+}
+
+Vector GramAccumulator::Means() const {
+  CCS_CHECK_GT(n_, 0);
+  Vector mu(m_);
+  for (size_t i = 0; i < m_; ++i) {
+    mu[i] = sum_.At(0, i + 1) / static_cast<double>(n_);
+  }
+  return mu;
+}
+
+Matrix GramAccumulator::Covariance() const {
+  CCS_CHECK_GT(n_, 0);
+  Vector mu = Means();
+  Matrix cov(m_, m_);
+  double n = static_cast<double>(n_);
+  for (size_t i = 0; i < m_; ++i) {
+    for (size_t j = 0; j < m_; ++j) {
+      cov.At(i, j) = sum_.At(i + 1, j + 1) / n - mu[i] * mu[j];
+    }
+  }
+  return cov;
+}
+
+}  // namespace ccs::linalg

@@ -1,0 +1,66 @@
+// Streaming, mergeable Gram-matrix accumulator.
+//
+// Implements the paper's §4.3.2 observation: X^T X = sum_i t_i t_i^T can be
+// built one tuple at a time in O(m^2) memory, and partitions accumulated
+// independently can be merged by addition (embarrassingly parallel).
+//
+// The accumulator always tracks the ones-AUGMENTED tuple (1, t) as required
+// by Algorithm 1 line 2, so it simultaneously yields:
+//   - the augmented Gram matrix [1; X]^T [1; X]   (for eigenvectors),
+//   - per-attribute means,
+//   - the covariance matrix                       (for baselines).
+
+#ifndef CCS_LINALG_GRAM_H_
+#define CCS_LINALG_GRAM_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace ccs::linalg {
+
+/// Accumulates sum over tuples of (1,t)(1,t)^T in O(m^2) space.
+class GramAccumulator {
+ public:
+  /// An accumulator over m-attribute tuples.
+  explicit GramAccumulator(size_t num_attributes);
+
+  /// Adds one tuple. Size must equal num_attributes().
+  void Add(const Vector& tuple);
+
+  /// Adds every row of a data matrix (n x m).
+  void AddMatrix(const Matrix& data);
+
+  /// Merges another accumulator built over the same schema (partition-wise
+  /// parallel pattern from §4.3.2).
+  Status Merge(const GramAccumulator& other);
+
+  size_t num_attributes() const { return m_; }
+  int64_t count() const { return n_; }
+
+  /// The (m+1) x (m+1) augmented Gram matrix [1; X]^T [1; X].
+  /// Index 0 is the constant column.
+  Matrix AugmentedGram() const;
+
+  /// The plain m x m Gram matrix X^T X.
+  Matrix Gram() const;
+
+  /// Per-attribute means. Requires count() > 0.
+  Vector Means() const;
+
+  /// Population covariance matrix (divides by n). Requires count() > 0.
+  Matrix Covariance() const;
+
+ private:
+  size_t m_;
+  int64_t n_;
+  // Row-major (m+1)x(m+1) sum of (1,t)(1,t)^T. Entry (0,0) is the count,
+  // row/col 0 hold per-attribute sums.
+  Matrix sum_;
+};
+
+}  // namespace ccs::linalg
+
+#endif  // CCS_LINALG_GRAM_H_

@@ -1,0 +1,113 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccs::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(0) {
+  for (const auto& row : rows) {
+    if (cols_ == 0) cols_ = row.size();
+    CCS_CHECK_EQ(row.size(), cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Vector Matrix::Row(size_t r) const {
+  CCS_CHECK(r < rows_);
+  Vector out(cols_);
+  for (size_t c = 0; c < cols_; ++c) out[c] = At(r, c);
+  return out;
+}
+
+Vector Matrix::Col(size_t c) const {
+  CCS_CHECK(c < cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = At(r, c);
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const Vector& values) {
+  CCS_CHECK(r < rows_);
+  CCS_CHECK_EQ(values.size(), cols_);
+  for (size_t c = 0; c < cols_; ++c) At(r, c) = values[c];
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out.At(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  CCS_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double aik = At(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += aik * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::Multiply(const Vector& v) const {
+  CCS_CHECK_EQ(cols_, v.size());
+  Vector out(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += At(i, j) * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  CCS_CHECK_EQ(rows_, other.rows_);
+  CCS_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+void Matrix::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+bool Matrix::AlmostEqual(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    if (std::abs(a.data_[i] - b.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = i + 1; j < cols_; ++j) {
+      if (std::abs(At(i, j) - At(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ccs::linalg

@@ -1,0 +1,92 @@
+// Dense row-major matrix of doubles.
+
+#ifndef CCS_LINALG_MATRIX_H_
+#define CCS_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/logging.h"
+#include "linalg/vector.h"
+
+namespace ccs::linalg {
+
+/// A dense row-major matrix.
+///
+/// Sized for the paper's regime (attribute counts m in the tens; Gram
+/// matrices m x m). Row counts can be large for data matrices, but all
+/// quadratic-cost operations are only ever applied to m x m matrices.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix of zeros (or `fill`).
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Constructs from nested brace lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) {
+    CCS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    CCS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  /// Copies row `r` out as a Vector.
+  Vector Row(size_t r) const;
+
+  /// Copies column `c` out as a Vector.
+  Vector Col(size_t c) const;
+
+  /// Overwrites row `r`. Sizes must match.
+  void SetRow(size_t r, const Vector& values);
+
+  /// The n x n identity.
+  static Matrix Identity(size_t n);
+
+  /// this * other. Inner dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this * v.
+  Vector Multiply(const Vector& v) const;
+
+  /// Transpose copy.
+  Matrix Transposed() const;
+
+  /// this + other, elementwise; shapes must match.
+  Matrix Add(const Matrix& other) const;
+
+  /// Scales every entry.
+  void Scale(double alpha);
+
+  /// True if |a(i,j) - b(i,j)| <= tol everywhere (and shapes match).
+  static bool AlmostEqual(const Matrix& a, const Matrix& b, double tol);
+
+  /// Max |a(i,j)| over all entries (0 for empty).
+  double MaxAbs() const;
+
+  /// True if the matrix is square and symmetric to within `tol`.
+  bool IsSymmetric(double tol = 1e-9) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace ccs::linalg
+
+#endif  // CCS_LINALG_MATRIX_H_

@@ -1,0 +1,114 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccs::linalg {
+
+Vector EigenDecomposition::Eigenvalues() const {
+  Vector out(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) out[i] = pairs[i].eigenvalue;
+  return out;
+}
+
+Matrix EigenDecomposition::EigenvectorMatrix() const {
+  if (pairs.empty()) return Matrix();
+  size_t n = pairs[0].eigenvector.size();
+  Matrix out(n, pairs.size());
+  for (size_t j = 0; j < pairs.size(); ++j) {
+    CCS_CHECK_EQ(pairs[j].eigenvector.size(), n);
+    for (size_t i = 0; i < n; ++i) out.At(i, j) = pairs[j].eigenvector[i];
+  }
+  return out;
+}
+
+namespace {
+
+// Largest |a(i,j)| with i != j.
+double MaxOffDiagonal(const Matrix& a) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = i + 1; j < a.cols(); ++j) {
+      m = std::max(m, std::abs(a.At(i, j)));
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+StatusOr<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                            const JacobiOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: matrix must be square");
+  }
+  if (!a.IsSymmetric(1e-8 * std::max(1.0, a.MaxAbs()))) {
+    return Status::InvalidArgument("SymmetricEigen: matrix must be symmetric");
+  }
+  const size_t n = a.rows();
+  EigenDecomposition result;
+  if (n == 0) return result;
+
+  Matrix d = a;                       // Will converge to diagonal.
+  Matrix v = Matrix::Identity(n);    // Accumulated rotations.
+  const double threshold =
+      options.relative_tolerance * std::max(1.0, a.MaxAbs());
+
+  int sweep = 0;
+  for (; sweep < options.max_sweeps; ++sweep) {
+    if (MaxOffDiagonal(d) <= threshold) break;
+    // Cyclic sweep over the strict upper triangle.
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = d.At(p, q);
+        if (std::abs(apq) <= threshold * 1e-3) continue;
+        double app = d.At(p, p);
+        double aqq = d.At(q, q);
+        // Rotation angle from the standard Jacobi formulas.
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0.0)
+                       ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                       : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        double c = 1.0 / std::sqrt(1.0 + t * t);
+        double s = t * c;
+
+        // Apply the rotation to rows/columns p and q of d.
+        for (size_t k = 0; k < n; ++k) {
+          double dkp = d.At(k, p);
+          double dkq = d.At(k, q);
+          d.At(k, p) = c * dkp - s * dkq;
+          d.At(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double dpk = d.At(p, k);
+          double dqk = d.At(q, k);
+          d.At(p, k) = c * dpk - s * dqk;
+          d.At(q, k) = s * dpk + c * dqk;
+        }
+        // Accumulate into the eigenvector matrix.
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v.At(k, p);
+          double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (sweep == options.max_sweeps && MaxOffDiagonal(d) > threshold) {
+    return Status::Internal("SymmetricEigen: Jacobi failed to converge");
+  }
+
+  result.pairs.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.pairs[i].eigenvalue = d.At(i, i);
+    result.pairs[i].eigenvector = v.Col(i);
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const EigenPair& x, const EigenPair& y) {
+              return x.eigenvalue < y.eigenvalue;
+            });
+  return result;
+}
+
+}  // namespace ccs::linalg

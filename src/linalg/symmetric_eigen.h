@@ -1,0 +1,60 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Algorithm 1 of the paper needs all eigenpairs of the (m+1)x(m+1) Gram
+// matrix X'^T X'. Attribute counts m are small (tens), so Jacobi — O(m^3)
+// per sweep, unconditionally stable for symmetric input, no external
+// dependency — is the right tool.
+
+#ifndef CCS_LINALG_SYMMETRIC_EIGEN_H_
+#define CCS_LINALG_SYMMETRIC_EIGEN_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace ccs::linalg {
+
+/// One eigenvalue with its (unit-norm) eigenvector.
+struct EigenPair {
+  double eigenvalue = 0.0;
+  Vector eigenvector;
+};
+
+/// The full decomposition, eigenpairs sorted by ascending eigenvalue.
+/// For the Gram matrix of a dataset, ascending eigenvalue order is
+/// ascending projection-variance order: pairs.front() yields the paper's
+/// strongest (lowest-variance) conformance constraint.
+struct EigenDecomposition {
+  std::vector<EigenPair> pairs;
+
+  /// Eigenvalues as a vector, ascending.
+  Vector Eigenvalues() const;
+
+  /// Matrix whose COLUMNS are the eigenvectors, in ascending-eigenvalue
+  /// order (so V^T A V = diag(eigenvalues)).
+  Matrix EigenvectorMatrix() const;
+};
+
+/// Options for the Jacobi iteration.
+struct JacobiOptions {
+  /// Convergence threshold on the largest absolute off-diagonal element,
+  /// relative to the largest absolute entry of the input.
+  double relative_tolerance = 1e-12;
+  /// Hard cap on full sweeps; symmetric matrices of this size converge in
+  /// well under 20 sweeps.
+  int max_sweeps = 100;
+};
+
+/// Computes all eigenpairs of a symmetric matrix.
+///
+/// Returns InvalidArgument if `a` is not square/symmetric, Internal if the
+/// iteration fails to converge within max_sweeps (does not happen for
+/// well-formed symmetric input).
+StatusOr<EigenDecomposition> SymmetricEigen(
+    const Matrix& a, const JacobiOptions& options = JacobiOptions());
+
+}  // namespace ccs::linalg
+
+#endif  // CCS_LINALG_SYMMETRIC_EIGEN_H_

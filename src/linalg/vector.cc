@@ -1,0 +1,93 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ccs::linalg {
+
+double Vector::Dot(const Vector& other) const {
+  CCS_CHECK_EQ(size(), other.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) acc += data_[i] * other.data_[i];
+  return acc;
+}
+
+double Vector::Norm() const { return std::sqrt(Dot(*this)); }
+
+double Vector::Sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+double Vector::Mean() const {
+  CCS_CHECK(!empty());
+  return Sum() / static_cast<double>(size());
+}
+
+double Vector::Variance() const {
+  CCS_CHECK(!empty());
+  double mu = Mean();
+  double acc = 0.0;
+  for (double v : data_) acc += (v - mu) * (v - mu);
+  return acc / static_cast<double>(size());
+}
+
+double Vector::StdDev() const { return std::sqrt(Variance()); }
+
+double Vector::Min() const {
+  CCS_CHECK(!empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Vector::Max() const {
+  CCS_CHECK(!empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+void Vector::Axpy(double alpha, const Vector& other) {
+  CCS_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Vector::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+Vector Vector::Normalized() const {
+  double n = Norm();
+  CCS_CHECK_GT(n, 0.0);
+  Vector out = *this;
+  out.Scale(1.0 / n);
+  return out;
+}
+
+Vector Vector::operator+(const Vector& other) const {
+  Vector out = *this;
+  out.Axpy(1.0, other);
+  return out;
+}
+
+Vector Vector::operator-(const Vector& other) const {
+  Vector out = *this;
+  out.Axpy(-1.0, other);
+  return out;
+}
+
+Vector Vector::operator*(double alpha) const {
+  Vector out = *this;
+  out.Scale(alpha);
+  return out;
+}
+
+double Vector::MaxAbsDiff(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace ccs::linalg

@@ -1,0 +1,92 @@
+// Dense double vector with the operations the conformance-constraint
+// pipeline needs (dot products, norms, axpy-style arithmetic, stats).
+
+#ifndef CCS_LINALG_VECTOR_H_
+#define CCS_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ccs::linalg {
+
+/// A dense vector of doubles.
+///
+/// Value type; cheap moves, explicit copies. Element access is bounds
+/// checked in debug builds only.
+class Vector {
+ public:
+  Vector() = default;
+
+  /// A vector of `size` zeros (or `fill` values).
+  explicit Vector(size_t size, double fill = 0.0) : data_(size, fill) {}
+
+  /// Constructs from a brace list: Vector v{1.0, 2.0}.
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Adopts an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](size_t i) {
+    CCS_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  double operator[](size_t i) const {
+    CCS_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Dot product. Sizes must match.
+  double Dot(const Vector& other) const;
+
+  /// Euclidean (L2) norm.
+  double Norm() const;
+
+  /// Sum of elements.
+  double Sum() const;
+
+  /// Arithmetic mean. Requires non-empty.
+  double Mean() const;
+
+  /// Population variance (divides by n, matching the paper's sigma).
+  double Variance() const;
+
+  /// Population standard deviation.
+  double StdDev() const;
+
+  double Min() const;
+  double Max() const;
+
+  /// this += alpha * other (BLAS axpy).
+  void Axpy(double alpha, const Vector& other);
+
+  /// Scales every element by `alpha`.
+  void Scale(double alpha);
+
+  /// Returns a copy scaled to unit L2 norm. Requires a nonzero norm.
+  Vector Normalized() const;
+
+  Vector operator+(const Vector& other) const;
+  Vector operator-(const Vector& other) const;
+  Vector operator*(double alpha) const;
+
+  bool operator==(const Vector& other) const { return data_ == other.data_; }
+
+  /// Max |a_i - b_i|; INF if sizes differ.
+  static double MaxAbsDiff(const Vector& a, const Vector& b);
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace ccs::linalg
+
+#endif  // CCS_LINALG_VECTOR_H_

@@ -1,0 +1,74 @@
+#include "ml/linear_regression.h"
+
+#include "linalg/cholesky.h"
+#include "linalg/gram.h"
+
+namespace ccs::ml {
+
+StatusOr<LinearRegression> LinearRegression::Fit(
+    const linalg::Matrix& x, const linalg::Vector& y,
+    const LinearRegressionOptions& options) {
+  const size_t n = x.rows();
+  const size_t m = x.cols();
+  if (n == 0 || y.size() != n) {
+    return Status::InvalidArgument("LinearRegression::Fit: bad shapes");
+  }
+
+  // Build the (augmented) normal equations A w = b with A = X'^T X',
+  // b = X'^T y, where X' has a leading ones column iff fit_intercept.
+  const size_t d = m + (options.fit_intercept ? 1 : 0);
+  linalg::Matrix a(d, d);
+  linalg::Vector b(d);
+  for (size_t i = 0; i < n; ++i) {
+    // Augmented row.
+    linalg::Vector row(d);
+    size_t off = 0;
+    if (options.fit_intercept) {
+      row[0] = 1.0;
+      off = 1;
+    }
+    for (size_t j = 0; j < m; ++j) row[off + j] = x.At(i, j);
+    for (size_t p = 0; p < d; ++p) {
+      b[p] += row[p] * y[i];
+      for (size_t q = p; q < d; ++q) {
+        a.At(p, q) += row[p] * row[q];
+        if (q != p) a.At(q, p) = a.At(p, q);
+      }
+    }
+  }
+  size_t first_feature = options.fit_intercept ? 1 : 0;
+  for (size_t j = first_feature; j < d; ++j) {
+    a.At(j, j) += options.l2_penalty;
+  }
+
+  auto solved = linalg::SolveSpd(a, b);
+  if (!solved.ok()) {
+    // Singular (collinear features): retry with a tiny ridge.
+    for (size_t j = 0; j < d; ++j) a.At(j, j) += 1e-8 * (a.At(j, j) + 1.0);
+    CCS_ASSIGN_OR_RETURN(linalg::Vector w2, linalg::SolveSpd(a, b));
+    solved = w2;
+  }
+  linalg::Vector w = std::move(solved).value();
+
+  double intercept = 0.0;
+  linalg::Vector weights(m);
+  size_t off = 0;
+  if (options.fit_intercept) {
+    intercept = w[0];
+    off = 1;
+  }
+  for (size_t j = 0; j < m; ++j) weights[j] = w[off + j];
+  return LinearRegression(std::move(weights), intercept);
+}
+
+double LinearRegression::Predict(const linalg::Vector& x) const {
+  return weights_.Dot(x) + intercept_;
+}
+
+linalg::Vector LinearRegression::PredictAll(const linalg::Matrix& x) const {
+  linalg::Vector out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = Predict(x.Row(i));
+  return out;
+}
+
+}  // namespace ccs::ml

@@ -1,0 +1,53 @@
+// Ordinary least squares / ridge regression via the normal equations.
+//
+// This is the model class the paper's TML case study trains (flight-delay
+// prediction, §6.1) and the OLS comparator discussed in Appendix L.
+
+#ifndef CCS_ML_LINEAR_REGRESSION_H_
+#define CCS_ML_LINEAR_REGRESSION_H_
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace ccs::ml {
+
+/// Options for linear-regression fitting.
+struct LinearRegressionOptions {
+  /// L2 penalty added to the normal-equation diagonal (not applied to the
+  /// intercept). Also acts as a numerical safety net for collinear data;
+  /// fitting retries with a small ridge if the plain system is singular.
+  double l2_penalty = 0.0;
+  /// Fit an intercept term.
+  bool fit_intercept = true;
+};
+
+/// A fitted linear model y = w . x + b.
+class LinearRegression {
+ public:
+  /// Fits on features X (n x m) and targets y (n). Requires n >= 1 and
+  /// matching sizes.
+  static StatusOr<LinearRegression> Fit(
+      const linalg::Matrix& x, const linalg::Vector& y,
+      const LinearRegressionOptions& options = LinearRegressionOptions());
+
+  /// Predicts one tuple (size m).
+  double Predict(const linalg::Vector& x) const;
+
+  /// Predicts every row of X.
+  linalg::Vector PredictAll(const linalg::Matrix& x) const;
+
+  const linalg::Vector& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  LinearRegression(linalg::Vector weights, double intercept)
+      : weights_(std::move(weights)), intercept_(intercept) {}
+
+  linalg::Vector weights_;
+  double intercept_;
+};
+
+}  // namespace ccs::ml
+
+#endif  // CCS_ML_LINEAR_REGRESSION_H_

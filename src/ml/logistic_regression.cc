@@ -1,0 +1,135 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ccs::ml {
+
+namespace {
+
+// Softmax over raw scores, numerically stabilized.
+linalg::Vector Softmax(const linalg::Vector& scores) {
+  double mx = scores.Max();
+  linalg::Vector out(scores.size());
+  double total = 0.0;
+  for (size_t k = 0; k < scores.size(); ++k) {
+    out[k] = std::exp(scores[k] - mx);
+    total += out[k];
+  }
+  for (size_t k = 0; k < scores.size(); ++k) out[k] /= total;
+  return out;
+}
+
+}  // namespace
+
+StatusOr<LogisticRegression> LogisticRegression::Fit(
+    const linalg::Matrix& x, const std::vector<std::string>& labels,
+    const LogisticRegressionOptions& options) {
+  const size_t n = x.rows();
+  const size_t m = x.cols();
+  if (n == 0 || labels.size() != n) {
+    return Status::InvalidArgument("LogisticRegression::Fit: bad shapes");
+  }
+
+  // Map labels to class ids, first-appearance order.
+  std::vector<std::string> classes;
+  std::unordered_map<std::string, size_t> class_id;
+  std::vector<size_t> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto it = class_id.find(labels[i]);
+    if (it == class_id.end()) {
+      it = class_id.emplace(labels[i], classes.size()).first;
+      classes.push_back(labels[i]);
+    }
+    y[i] = it->second;
+  }
+  const size_t k = classes.size();
+  if (k < 2) {
+    return Status::InvalidArgument(
+        "LogisticRegression::Fit: need at least 2 classes");
+  }
+
+  CCS_ASSIGN_OR_RETURN(StandardScaler scaler, StandardScaler::Fit(x));
+  linalg::Matrix xs = x;
+  if (options.standardize) {
+    CCS_ASSIGN_OR_RETURN(xs, scaler.Transform(x));
+  }
+
+  linalg::Matrix w(k, m);
+  linalg::Vector b(k);
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    linalg::Matrix grad_w(k, m);
+    linalg::Vector grad_b(k);
+    // Full-batch gradient of the cross-entropy loss.
+    for (size_t i = 0; i < n; ++i) {
+      linalg::Vector xi = xs.Row(i);
+      linalg::Vector scores(k);
+      for (size_t c = 0; c < k; ++c) scores[c] = w.Row(c).Dot(xi) + b[c];
+      linalg::Vector p = Softmax(scores);
+      for (size_t c = 0; c < k; ++c) {
+        double err = p[c] - (y[i] == c ? 1.0 : 0.0);
+        grad_b[c] += err * inv_n;
+        for (size_t j = 0; j < m; ++j) {
+          grad_w.At(c, j) += err * xi[j] * inv_n;
+        }
+      }
+    }
+    double max_grad = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      max_grad = std::max(max_grad, std::abs(grad_b[c]));
+      for (size_t j = 0; j < m; ++j) {
+        grad_w.At(c, j) += options.l2_penalty * w.At(c, j);
+        max_grad = std::max(max_grad, std::abs(grad_w.At(c, j)));
+        w.At(c, j) -= options.learning_rate * grad_w.At(c, j);
+      }
+      b[c] -= options.learning_rate * grad_b[c];
+    }
+    if (max_grad < options.gradient_tolerance) break;
+  }
+
+  if (!options.standardize) {
+    // Replace the fitted scaler with an identity transform.
+    linalg::Matrix identity_basis(1, m);
+    for (size_t j = 0; j < m; ++j) identity_basis.At(0, j) = 0.0;
+    // A scaler fit on a zero row has mean 0 and stddev 1 for all columns.
+    CCS_ASSIGN_OR_RETURN(scaler, StandardScaler::Fit(identity_basis));
+  }
+  return LogisticRegression(std::move(w), std::move(b), std::move(classes),
+                            std::move(scaler));
+}
+
+StatusOr<linalg::Vector> LogisticRegression::PredictProba(
+    const linalg::Vector& x) const {
+  CCS_ASSIGN_OR_RETURN(linalg::Vector xi, scaler_.Transform(x));
+  linalg::Vector scores(classes_.size());
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    scores[c] = weights_.Row(c).Dot(xi) + biases_[c];
+  }
+  return Softmax(scores);
+}
+
+StatusOr<std::string> LogisticRegression::Predict(
+    const linalg::Vector& x) const {
+  CCS_ASSIGN_OR_RETURN(linalg::Vector p, PredictProba(x));
+  size_t best = 0;
+  for (size_t c = 1; c < p.size(); ++c) {
+    if (p[c] > p[best]) best = c;
+  }
+  return classes_[best];
+}
+
+StatusOr<std::vector<std::string>> LogisticRegression::PredictAll(
+    const linalg::Matrix& x) const {
+  std::vector<std::string> out;
+  out.reserve(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    CCS_ASSIGN_OR_RETURN(std::string label, Predict(x.Row(i)));
+    out.push_back(std::move(label));
+  }
+  return out;
+}
+
+}  // namespace ccs::ml

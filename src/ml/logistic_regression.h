@@ -1,0 +1,69 @@
+// Multinomial (softmax) logistic regression trained by gradient descent.
+//
+// The HAR case study (§6.1) trains a logistic-regression person-ID
+// classifier on sedentary activity data; this is that model class.
+
+#ifndef CCS_ML_LOGISTIC_REGRESSION_H_
+#define CCS_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "ml/scaler.h"
+
+namespace ccs::ml {
+
+/// Training options.
+struct LogisticRegressionOptions {
+  int max_iterations = 300;
+  double learning_rate = 0.5;
+  double l2_penalty = 1e-4;
+  /// Stop when the max-abs gradient entry falls below this.
+  double gradient_tolerance = 1e-5;
+  /// Standardize features internally (strongly recommended; raw sensor
+  /// scales differ by orders of magnitude).
+  bool standardize = true;
+};
+
+/// A fitted multiclass classifier with string class labels.
+class LogisticRegression {
+ public:
+  /// Fits on features X (n x m) and labels (size n). Classes are the
+  /// distinct labels in first-appearance order.
+  static StatusOr<LogisticRegression> Fit(
+      const linalg::Matrix& x, const std::vector<std::string>& labels,
+      const LogisticRegressionOptions& options = LogisticRegressionOptions());
+
+  /// Class-probability vector (softmax) for one tuple.
+  StatusOr<linalg::Vector> PredictProba(const linalg::Vector& x) const;
+
+  /// Most likely class label for one tuple.
+  StatusOr<std::string> Predict(const linalg::Vector& x) const;
+
+  /// Predicted labels for every row of X.
+  StatusOr<std::vector<std::string>> PredictAll(const linalg::Matrix& x) const;
+
+  const std::vector<std::string>& classes() const { return classes_; }
+
+ private:
+  LogisticRegression(linalg::Matrix weights, linalg::Vector biases,
+                     std::vector<std::string> classes, StandardScaler scaler)
+      : weights_(std::move(weights)),
+        biases_(std::move(biases)),
+        classes_(std::move(classes)),
+        scaler_(std::move(scaler)) {}
+
+  // weights_ is k x m (one row per class); biases_ has size k.
+  linalg::Matrix weights_;
+  linalg::Vector biases_;
+  std::vector<std::string> classes_;
+  StandardScaler scaler_;
+};
+
+}  // namespace ccs::ml
+
+#endif  // CCS_ML_LOGISTIC_REGRESSION_H_

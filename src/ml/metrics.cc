@@ -1,0 +1,58 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+namespace ccs::ml {
+
+namespace {
+
+Status CheckPair(size_t a, size_t b) {
+  if (a != b) return Status::InvalidArgument("metrics: size mismatch");
+  if (a == 0) return Status::InvalidArgument("metrics: empty input");
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> MeanAbsoluteError(const linalg::Vector& truth,
+                                   const linalg::Vector& predicted) {
+  CCS_RETURN_IF_ERROR(CheckPair(truth.size(), predicted.size()));
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+StatusOr<double> RootMeanSquaredError(const linalg::Vector& truth,
+                                      const linalg::Vector& predicted) {
+  CCS_RETURN_IF_ERROR(CheckPair(truth.size(), predicted.size()));
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    double d = truth[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+StatusOr<double> Accuracy(const std::vector<std::string>& truth,
+                          const std::vector<std::string>& predicted) {
+  CCS_RETURN_IF_ERROR(CheckPair(truth.size(), predicted.size()));
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+StatusOr<linalg::Vector> AbsoluteErrors(const linalg::Vector& truth,
+                                        const linalg::Vector& predicted) {
+  CCS_RETURN_IF_ERROR(CheckPair(truth.size(), predicted.size()));
+  linalg::Vector out(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    out[i] = std::abs(truth[i] - predicted[i]);
+  }
+  return out;
+}
+
+}  // namespace ccs::ml

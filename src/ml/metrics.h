@@ -1,0 +1,32 @@
+// Evaluation metrics used by the paper's experiments.
+
+#ifndef CCS_ML_METRICS_H_
+#define CCS_ML_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "linalg/vector.h"
+
+namespace ccs::ml {
+
+/// Mean absolute error (the regression metric of Fig. 4/5).
+StatusOr<double> MeanAbsoluteError(const linalg::Vector& truth,
+                                   const linalg::Vector& predicted);
+
+/// Root mean squared error.
+StatusOr<double> RootMeanSquaredError(const linalg::Vector& truth,
+                                      const linalg::Vector& predicted);
+
+/// Fraction of matching labels (the classification metric of Fig. 6).
+StatusOr<double> Accuracy(const std::vector<std::string>& truth,
+                          const std::vector<std::string>& predicted);
+
+/// Per-tuple absolute errors |truth_i - predicted_i| (Fig. 5's y-axis).
+StatusOr<linalg::Vector> AbsoluteErrors(const linalg::Vector& truth,
+                                        const linalg::Vector& predicted);
+
+}  // namespace ccs::ml
+
+#endif  // CCS_ML_METRICS_H_

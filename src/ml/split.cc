@@ -1,0 +1,22 @@
+#include "ml/split.h"
+
+namespace ccs::ml {
+
+StatusOr<Split> TrainTestSplit(const dataframe::DataFrame& df,
+                               double train_fraction, Rng* rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "TrainTestSplit: train_fraction must be in (0,1)");
+  }
+  std::vector<size_t> perm = rng->Permutation(df.num_rows());
+  size_t n_train =
+      static_cast<size_t>(train_fraction * static_cast<double>(df.num_rows()));
+  std::vector<size_t> train_idx(perm.begin(), perm.begin() + n_train);
+  std::vector<size_t> test_idx(perm.begin() + n_train, perm.end());
+  Split out;
+  out.train = df.Gather(train_idx);
+  out.test = df.Gather(test_idx);
+  return out;
+}
+
+}  // namespace ccs::ml

@@ -1,0 +1,24 @@
+// Train/test splitting of DataFrames.
+
+#ifndef CCS_ML_SPLIT_H_
+#define CCS_ML_SPLIT_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::ml {
+
+/// A train/test pair.
+struct Split {
+  dataframe::DataFrame train;
+  dataframe::DataFrame test;
+};
+
+/// Shuffles rows and splits with the given train fraction in (0, 1).
+StatusOr<Split> TrainTestSplit(const dataframe::DataFrame& df,
+                               double train_fraction, Rng* rng);
+
+}  // namespace ccs::ml
+
+#endif  // CCS_ML_SPLIT_H_

@@ -1,0 +1,52 @@
+// Descriptive statistics, including a Welford-style online accumulator.
+
+#ifndef CCS_STATS_DESCRIPTIVE_H_
+#define CCS_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "linalg/vector.h"
+
+namespace ccs::stats {
+
+/// Summary of a numeric sample.
+struct Summary {
+  int64_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Population variance (divides by n).
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One-pass summary of `values`. Requires non-empty input.
+StatusOr<Summary> Summarize(const linalg::Vector& values);
+
+/// The q-quantile (0 <= q <= 1) by linear interpolation between order
+/// statistics. Requires non-empty input.
+StatusOr<double> Quantile(const linalg::Vector& values, double q);
+
+/// Numerically-stable streaming mean/variance (Welford), mergeable across
+/// partitions (Chan et al. parallel formula).
+class OnlineStats {
+ public:
+  void Add(double value);
+  void Merge(const OnlineStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 for fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace ccs::stats
+
+#endif  // CCS_STATS_DESCRIPTIVE_H_

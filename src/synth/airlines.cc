@@ -1,0 +1,96 @@
+#include "synth/airlines.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccs::synth {
+
+namespace {
+
+constexpr const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                   "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+constexpr const char* kCarriers[] = {"AA", "UA", "DL", "WN", "B6"};
+
+constexpr double kMinutesPerMile = 0.12;  // ~500 mph cruise speed.
+constexpr double kDayMinutes = 1440.0;
+
+// Ground-truth delay model: departure-time congestion plus mild
+// duration effect plus noise. Depends only on covariates, as in §6.1.
+double TrueDelay(double dep_time, double duration, double noise) {
+  // Congestion peaks around 17:00 (1020 minutes).
+  double rush = std::exp(-std::pow((dep_time - 1020.0) / 180.0, 2.0));
+  return 6.0 + 0.03 * duration + 18.0 * rush + noise;
+}
+
+}  // namespace
+
+dataframe::DataFrame GenerateFlights(FlightKind kind, size_t n, Rng* rng,
+                                     const AirlinesOptions& options) {
+  std::vector<std::string> month(n), carrier(n);
+  std::vector<double> day(n), dow(n), dep(n), arr(n), dur(n), dist(n),
+      delay(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    month[i] = kMonths[rng->UniformInt(0, 11)];
+    carrier[i] = kCarriers[rng->UniformInt(0, 4)];
+    day[i] = static_cast<double>(rng->UniformInt(1, 28));
+    dow[i] = static_cast<double>(rng->UniformInt(1, 7));
+
+    if (kind == FlightKind::kDaytime) {
+      // Short-to-medium flights that fit within the day.
+      dist[i] = rng->Uniform(150.0, 2200.0);
+      dur[i] = kMinutesPerMile * dist[i] +
+               rng->Gaussian(0.0, options.duration_noise);
+      dur[i] = std::max(dur[i], 25.0);
+      double latest_dep = kDayMinutes - dur[i] - 30.0;
+      dep[i] = rng->Uniform(300.0, latest_dep);
+      arr[i] = dep[i] + dur[i] + rng->Gaussian(0.0, options.schedule_noise);
+    } else {
+      // Long evening departures that wrap past midnight.
+      dist[i] = rng->Uniform(1800.0, 3200.0);
+      dur[i] = kMinutesPerMile * dist[i] +
+               rng->Gaussian(0.0, options.duration_noise);
+      dur[i] = std::max(dur[i], 180.0);
+      dep[i] = rng->Uniform(kDayMinutes - 240.0, kDayMinutes - 10.0);
+      double raw_arrival =
+          dep[i] + dur[i] + rng->Gaussian(0.0, options.schedule_noise);
+      arr[i] = std::fmod(raw_arrival, kDayMinutes);
+    }
+    delay[i] = TrueDelay(dep[i], dur[i],
+                         rng->Gaussian(0.0, options.delay_noise));
+  }
+
+  dataframe::DataFrame df;
+  CCS_CHECK(df.AddCategoricalColumn("month", std::move(month)).ok());
+  CCS_CHECK(df.AddCategoricalColumn("carrier", std::move(carrier)).ok());
+  CCS_CHECK(df.AddNumericColumn("day", std::move(day)).ok());
+  CCS_CHECK(df.AddNumericColumn("day_of_week", std::move(dow)).ok());
+  CCS_CHECK(df.AddNumericColumn("dep_time", std::move(dep)).ok());
+  CCS_CHECK(df.AddNumericColumn("arr_time", std::move(arr)).ok());
+  CCS_CHECK(df.AddNumericColumn("duration", std::move(dur)).ok());
+  CCS_CHECK(df.AddNumericColumn("distance", std::move(dist)).ok());
+  CCS_CHECK(df.AddNumericColumn("delay", std::move(delay)).ok());
+  return df;
+}
+
+StatusOr<AirlinesBenchmark> MakeAirlinesBenchmark(
+    size_t train_rows, size_t serving_rows, Rng* rng,
+    const AirlinesOptions& options) {
+  AirlinesBenchmark out;
+  out.train = GenerateFlights(FlightKind::kDaytime, train_rows, rng, options);
+  out.daytime =
+      GenerateFlights(FlightKind::kDaytime, serving_rows, rng, options);
+  out.overnight =
+      GenerateFlights(FlightKind::kOvernight, serving_rows, rng, options);
+
+  dataframe::DataFrame half_day =
+      GenerateFlights(FlightKind::kDaytime, serving_rows / 2, rng, options);
+  dataframe::DataFrame half_night = GenerateFlights(
+      FlightKind::kOvernight, serving_rows - serving_rows / 2, rng, options);
+  CCS_ASSIGN_OR_RETURN(dataframe::DataFrame mixed,
+                       half_day.Concat(half_night));
+  out.mixed = mixed.Sample(mixed.num_rows(), rng);  // Shuffle.
+  return out;
+}
+
+}  // namespace ccs::synth

@@ -1,0 +1,62 @@
+// Synthetic airlines workload (substitute for the 2008 airlines dataset
+// [8] used in §6.1's trusted-ML experiment).
+//
+// The generator reproduces the invariants the experiment depends on:
+//   - daytime flights satisfy  arr_time - dep_time - duration ~= 0  (noisy),
+//   - duration ~= 0.12 * distance  (≈500 mph cruise),
+//   - overnight flights wrap past midnight, so arr_time - dep_time =
+//     duration - 1440: the training-set invariant breaks by a large margin,
+//   - arrival delay is a noisy function of the covariates only (duration
+//     and departure congestion), so a regressor trained on daytime data
+//     degrades exactly when the invariant breaks.
+
+#ifndef CCS_SYNTH_AIRLINES_H_
+#define CCS_SYNTH_AIRLINES_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::synth {
+
+/// Which flight population to draw.
+enum class FlightKind {
+  kDaytime,    ///< dep + duration stays within the same day.
+  kOvernight,  ///< arrival wraps past midnight.
+};
+
+/// Generator knobs.
+struct AirlinesOptions {
+  /// Reporting noise (minutes) on arr - dep - duration.
+  double schedule_noise = 3.0;
+  /// Noise (minutes) on duration around 0.12 * distance.
+  double duration_noise = 6.0;
+  /// Noise (minutes) on the delay target.
+  double delay_noise = 10.0;
+};
+
+/// Generates `n` flights. Columns:
+///   month (categorical, "Jan".."Dec"), carrier (categorical, 5 airlines),
+///   day, day_of_week, dep_time, arr_time, duration, distance (numeric),
+///   delay (numeric target).
+dataframe::DataFrame GenerateFlights(
+    FlightKind kind, size_t n, Rng* rng,
+    const AirlinesOptions& options = AirlinesOptions());
+
+/// The four splits of the Fig. 4 experiment.
+struct AirlinesBenchmark {
+  dataframe::DataFrame train;      ///< Daytime only.
+  dataframe::DataFrame daytime;    ///< Held-out daytime.
+  dataframe::DataFrame overnight;  ///< Overnight only.
+  dataframe::DataFrame mixed;      ///< Daytime + overnight shuffled.
+};
+
+/// Builds all four splits; `mixed` combines fresh daytime and overnight
+/// draws roughly half-and-half.
+StatusOr<AirlinesBenchmark> MakeAirlinesBenchmark(
+    size_t train_rows, size_t serving_rows, Rng* rng,
+    const AirlinesOptions& options = AirlinesOptions());
+
+}  // namespace ccs::synth
+
+#endif  // CCS_SYNTH_AIRLINES_H_

@@ -1,0 +1,44 @@
+// The Extreme Verification Latency benchmark [74]: 16 synthetic
+// non-stationary streams (substitute reimplementation from the published
+// dataset descriptions; the originals are themselves synthetic).
+//
+// Each dataset is a time-indexed Gaussian mixture per class. Translation
+// datasets drift monotonically; rotation datasets (4CR, GEARS) drift
+// cyclically and return to the start; expansion datasets grow. Class
+// labels are included as a categorical attribute so conformance
+// constraints can learn per-class (local) profiles — the capability
+// Fig. 8 shows PCA-SPLL lacking on 4CR/4CRE-V2/FG-2C-2D.
+
+#ifndef CCS_SYNTH_EVL_H_
+#define CCS_SYNTH_EVL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::synth {
+
+/// The 16 benchmark dataset names, in the paper's Fig. 8 order.
+const std::vector<std::string>& EvlDatasetNames();
+
+/// True if `name` is one of the 16 datasets.
+bool IsEvlDataset(const std::string& name);
+
+/// Generates a stream of `num_windows` windows with `rows_per_window`
+/// tuples each. Columns: x0..x<d-1> (numeric, d in {2,3,5}) and "class"
+/// (categorical). Window w sits at normalized time w / (num_windows - 1).
+StatusOr<std::vector<dataframe::DataFrame>> GenerateEvlStream(
+    const std::string& name, size_t num_windows, size_t rows_per_window,
+    Rng* rng);
+
+/// One window at normalized time t in [0, 1] (exposed for tests).
+StatusOr<dataframe::DataFrame> GenerateEvlWindow(const std::string& name,
+                                                 double t, size_t rows,
+                                                 Rng* rng);
+
+}  // namespace ccs::synth
+
+#endif  // CCS_SYNTH_EVL_H_

@@ -1,0 +1,105 @@
+#include "synth/har.h"
+
+#include <functional>
+
+namespace ccs::synth {
+
+std::vector<std::string> SedentaryActivities() {
+  return {"lying", "sitting", "standing"};
+}
+
+std::vector<std::string> MobileActivities() { return {"walking", "running"}; }
+
+std::vector<std::string> AllActivities() {
+  std::vector<std::string> out = SedentaryActivities();
+  for (const std::string& a : MobileActivities()) out.push_back(a);
+  return out;
+}
+
+std::vector<std::string> HarPersons(size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 1; i <= n; ++i) out.push_back("p" + std::to_string(i));
+  return out;
+}
+
+double ActivityIntensity(const std::string& activity) {
+  if (activity == "lying") return 0.2;
+  if (activity == "sitting") return 0.35;
+  if (activity == "standing") return 0.5;
+  if (activity == "walking") return 2.0;
+  if (activity == "running") return 3.5;
+  return 1.0;
+}
+
+namespace {
+
+// Deterministic signature vector derived from a string key, so signatures
+// are stable across generator invocations (the heat-map experiments learn
+// on one draw and score another).
+linalg::Vector StableSignature(const std::string& key, size_t dim,
+                               double lo, double hi) {
+  Rng rng(std::hash<std::string>{}(key) | 1ull);
+  linalg::Vector out(dim);
+  for (size_t j = 0; j < dim; ++j) out[j] = rng.Uniform(lo, hi);
+  return out;
+}
+
+// Person-specific "fitness" in (0, 1], deterministic per person; scales
+// the person offset so some people are more distinctive than others
+// (Fig. 7's observation that inter-person drift correlates with fitness).
+double Fitness(const std::string& person) {
+  Rng rng(std::hash<std::string>{}("fitness:" + person) | 1ull);
+  return rng.Uniform(0.3, 1.0);
+}
+
+}  // namespace
+
+StatusOr<dataframe::DataFrame> GenerateHar(
+    const std::vector<std::string>& persons,
+    const std::vector<std::string>& activities, size_t rows_per_pair,
+    Rng* rng, const HarOptions& options) {
+  if (persons.empty() || activities.empty() || rows_per_pair == 0) {
+    return Status::InvalidArgument("GenerateHar: empty inputs");
+  }
+  const size_t k = options.num_sensors;
+  const size_t n = persons.size() * activities.size() * rows_per_pair;
+
+  std::vector<std::vector<double>> sensors(k, std::vector<double>());
+  for (auto& col : sensors) col.reserve(n);
+  std::vector<std::string> person_col, activity_col;
+  person_col.reserve(n);
+  activity_col.reserve(n);
+
+  for (const std::string& person : persons) {
+    linalg::Vector person_offset =
+        StableSignature("person:" + person, k, -0.6, 0.6);
+    double fitness = Fitness(person);
+    for (const std::string& activity : activities) {
+      linalg::Vector base =
+          StableSignature("activity:" + activity, k, -1.0, 1.0);
+      double intensity = ActivityIntensity(activity);
+      for (size_t r = 0; r < rows_per_pair; ++r) {
+        for (size_t j = 0; j < k; ++j) {
+          double mean = base[j] * intensity + person_offset[j] * fitness;
+          double noise = options.noise * (1.0 + 0.3 * intensity);
+          sensors[j].push_back(mean + rng->Gaussian(0.0, noise));
+        }
+        person_col.push_back(person);
+        activity_col.push_back(activity);
+      }
+    }
+  }
+
+  dataframe::DataFrame df;
+  for (size_t j = 0; j < k; ++j) {
+    CCS_RETURN_IF_ERROR(
+        df.AddNumericColumn("s" + std::to_string(j), std::move(sensors[j])));
+  }
+  CCS_RETURN_IF_ERROR(df.AddCategoricalColumn("person", std::move(person_col)));
+  CCS_RETURN_IF_ERROR(
+      df.AddCategoricalColumn("activity", std::move(activity_col)));
+  return df;
+}
+
+}  // namespace ccs::synth

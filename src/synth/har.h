@@ -1,0 +1,50 @@
+// Synthetic human-activity-recognition workload (substitute for the HAR
+// wearable dataset [78] of §6.1/6.2).
+//
+// Each (person, activity) pair has a stable 36-dimensional sensor
+// signature: an activity-specific base pattern scaled by activity
+// intensity plus a person-specific offset. Sedentary activities (lying,
+// sitting, standing) have low intensity; mobile ones (walking, running)
+// high — giving the separability the experiments (Figs. 6, 7, 11) rely on.
+
+#ifndef CCS_SYNTH_HAR_H_
+#define CCS_SYNTH_HAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::synth {
+
+/// Activity labels.
+std::vector<std::string> SedentaryActivities();  // lying, sitting, standing
+std::vector<std::string> MobileActivities();     // walking, running
+std::vector<std::string> AllActivities();
+
+/// Person ids "p1".."p<n>".
+std::vector<std::string> HarPersons(size_t n);
+
+/// Generator knobs.
+struct HarOptions {
+  size_t num_sensors = 36;
+  /// Base sensor noise; scales up with activity intensity.
+  double noise = 0.15;
+};
+
+/// Generates `rows_per_pair` tuples for every (person, activity) pair.
+/// Columns: s0..s<k-1> (numeric), person, activity (categorical).
+StatusOr<dataframe::DataFrame> GenerateHar(
+    const std::vector<std::string>& persons,
+    const std::vector<std::string>& activities, size_t rows_per_pair,
+    Rng* rng, const HarOptions& options = HarOptions());
+
+/// Intensity of an activity (drives signature scale). Unknown labels get
+/// a mid intensity.
+double ActivityIntensity(const std::string& activity);
+
+}  // namespace ccs::synth
+
+#endif  // CCS_SYNTH_HAR_H_

@@ -1,0 +1,89 @@
+#include "synth/led.h"
+
+#include <algorithm>
+
+namespace ccs::synth {
+
+namespace {
+
+// Standard 7-segment encoding of digits 0-9; segment order 1..7 =
+// top, top-right, bottom-right, bottom, bottom-left, top-left, middle.
+constexpr int kSegments[10][7] = {
+    {1, 1, 1, 1, 1, 1, 0},  // 0
+    {0, 1, 1, 0, 0, 0, 0},  // 1
+    {1, 1, 0, 1, 1, 0, 1},  // 2
+    {1, 1, 1, 1, 0, 0, 1},  // 3
+    {0, 1, 1, 0, 0, 1, 1},  // 4
+    {1, 0, 1, 1, 0, 1, 1},  // 5
+    {1, 0, 1, 1, 1, 1, 1},  // 6
+    {1, 1, 1, 0, 0, 0, 0},  // 7
+    {1, 1, 1, 1, 1, 1, 1},  // 8
+    {1, 1, 1, 1, 0, 1, 1},  // 9
+};
+
+}  // namespace
+
+std::vector<LedDriftPhase> DefaultLedSchedule() {
+  return {
+      {5, 10, {4, 5}},
+      {10, 15, {1, 3}},
+      {15, 20, {2, 6}},
+  };
+}
+
+StatusOr<std::vector<dataframe::DataFrame>> GenerateLedStream(
+    size_t num_windows, size_t rows_per_window,
+    const std::vector<LedDriftPhase>& schedule, Rng* rng,
+    const LedOptions& options) {
+  if (num_windows == 0 || rows_per_window == 0) {
+    return Status::InvalidArgument("GenerateLedStream: empty stream");
+  }
+  std::vector<dataframe::DataFrame> out;
+  out.reserve(num_windows);
+
+  for (size_t w = 0; w < num_windows; ++w) {
+    std::vector<bool> stuck(8, false);  // 1-based segments.
+    for (const LedDriftPhase& phase : schedule) {
+      if (w >= phase.start_window && w < phase.end_window) {
+        for (int seg : phase.malfunctioning) {
+          if (seg >= 1 && seg <= 7) stuck[static_cast<size_t>(seg)] = true;
+        }
+      }
+    }
+
+    std::vector<std::vector<double>> leds(7);
+    std::vector<std::vector<double>> irrelevant(options.num_irrelevant);
+    std::vector<std::string> digits;
+    digits.reserve(rows_per_window);
+
+    for (size_t i = 0; i < rows_per_window; ++i) {
+      int digit = static_cast<int>(rng->UniformInt(0, 9));
+      digits.push_back(std::to_string(digit));
+      for (int seg = 0; seg < 7; ++seg) {
+        double value = kSegments[digit][seg];
+        if (rng->Bernoulli(options.noise)) value = 1.0 - value;
+        if (stuck[static_cast<size_t>(seg) + 1]) value = 0.0;
+        leds[static_cast<size_t>(seg)].push_back(value);
+      }
+      for (size_t j = 0; j < options.num_irrelevant; ++j) {
+        irrelevant[j].push_back(rng->Bernoulli(0.5) ? 1.0 : 0.0);
+      }
+    }
+
+    dataframe::DataFrame df;
+    for (int seg = 0; seg < 7; ++seg) {
+      CCS_RETURN_IF_ERROR(df.AddNumericColumn(
+          "led" + std::to_string(seg + 1),
+          std::move(leds[static_cast<size_t>(seg)])));
+    }
+    for (size_t j = 0; j < options.num_irrelevant; ++j) {
+      CCS_RETURN_IF_ERROR(df.AddNumericColumn("irr" + std::to_string(j + 1),
+                                              std::move(irrelevant[j])));
+    }
+    CCS_RETURN_IF_ERROR(df.AddCategoricalColumn("digit", std::move(digits)));
+    out.push_back(std::move(df));
+  }
+  return out;
+}
+
+}  // namespace ccs::synth

@@ -1,0 +1,49 @@
+// LED benchmark generator with scheduled segment malfunction (MOA's LED
+// generator [12], used in the Fig. 12(d) explanation experiment).
+//
+// A tuple is a digit (0-9) rendered on a 7-segment display: 7 relevant
+// binary attributes (led1..led7) plus 17 irrelevant random binary
+// attributes. Drift is injected by making a chosen set of segments
+// malfunction (stuck at 0) from a given window onward.
+
+#ifndef CCS_SYNTH_LED_H_
+#define CCS_SYNTH_LED_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::synth {
+
+/// Generator knobs.
+struct LedOptions {
+  size_t num_irrelevant = 17;
+  /// Probability a (working) segment's value is flipped by noise.
+  double noise = 0.05;
+};
+
+/// The schedule of a drifting LED stream: windows [start, end) have the
+/// listed segments (1-based, 1..7) stuck at 0.
+struct LedDriftPhase {
+  size_t start_window = 0;
+  size_t end_window = 0;
+  std::vector<int> malfunctioning;
+};
+
+/// The paper's schedule: 20 windows; segments {4,5} fail from window 5,
+/// {1,3} from window 10, {2,6} from window 15.
+std::vector<LedDriftPhase> DefaultLedSchedule();
+
+/// Generates `num_windows` windows of `rows_per_window` tuples. Columns:
+/// led1..led7, irr1..irrK (numeric 0/1), digit (categorical "0".."9").
+StatusOr<std::vector<dataframe::DataFrame>> GenerateLedStream(
+    size_t num_windows, size_t rows_per_window,
+    const std::vector<LedDriftPhase>& schedule, Rng* rng,
+    const LedOptions& options = LedOptions());
+
+}  // namespace ccs::synth
+
+#endif  // CCS_SYNTH_LED_H_

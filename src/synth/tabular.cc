@@ -1,0 +1,193 @@
+#include "synth/tabular.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccs::synth {
+
+namespace {
+
+// Appends a numeric column generated per-row by `fn`.
+template <typename Fn>
+Status AddColumn(dataframe::DataFrame* df, const std::string& name, size_t n,
+                 Fn fn) {
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = fn(i);
+  return df->AddNumericColumn(name, std::move(values));
+}
+
+double ClampMin(double v, double lo) { return std::max(v, lo); }
+
+}  // namespace
+
+StatusOr<dataframe::DataFrame> GenerateCardio(size_t n, bool diseased,
+                                              Rng* rng) {
+  if (n == 0) return Status::InvalidArgument("GenerateCardio: n == 0");
+  double shift = diseased ? 1.0 : 0.0;
+  dataframe::DataFrame df;
+  // Heights/weights correlated through BMI; disease adds a small BMI
+  // bump, a strong blood-pressure bump, and mild cholesterol/glucose
+  // elevation. Lifestyle flags move slightly.
+  std::vector<double> heights(n), bmis(n);
+  for (size_t i = 0; i < n; ++i) {
+    heights[i] = rng->Gaussian(168.0, 8.0);
+    bmis[i] = rng->Gaussian(26.0 + 1.5 * shift, 3.5);
+  }
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "age", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(53.0 + 4.0 * shift, 7.0), 20.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "gender", n, [&](size_t) {
+    return rng->Bernoulli(0.5) ? 1.0 : 2.0;
+  }));
+  CCS_RETURN_IF_ERROR(
+      AddColumn(&df, "height", n, [&](size_t i) { return heights[i]; }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "weight", n, [&](size_t i) {
+    double h = heights[i] / 100.0;
+    return ClampMin(bmis[i] * h * h + rng->Gaussian(0.0, 2.0), 40.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "ap_hi", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(118.0 + 28.0 * shift, 9.0), 80.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "ap_lo", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(78.0 + 16.0 * shift, 7.0), 50.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "cholesterol", n, [&](size_t) {
+    double p = diseased ? 0.45 : 0.15;
+    return rng->Bernoulli(p) ? (rng->Bernoulli(0.5) ? 3.0 : 2.0) : 1.0;
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "gluc", n, [&](size_t) {
+    double p = diseased ? 0.30 : 0.12;
+    return rng->Bernoulli(p) ? (rng->Bernoulli(0.5) ? 3.0 : 2.0) : 1.0;
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "smoke", n, [&](size_t) {
+    return rng->Bernoulli(diseased ? 0.12 : 0.09) ? 1.0 : 0.0;
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "alco", n, [&](size_t) {
+    return rng->Bernoulli(diseased ? 0.06 : 0.05) ? 1.0 : 0.0;
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "active", n, [&](size_t) {
+    return rng->Bernoulli(diseased ? 0.72 : 0.82) ? 1.0 : 0.0;
+  }));
+  return df;
+}
+
+StatusOr<dataframe::DataFrame> GenerateMobile(size_t n, bool expensive,
+                                              Rng* rng) {
+  if (n == 0) return Status::InvalidArgument("GenerateMobile: n == 0");
+  double shift = expensive ? 1.0 : 0.0;
+  dataframe::DataFrame df;
+  // RAM dominates the price class; battery and pixel dimensions move
+  // moderately; the rest are price-independent.
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "battery_power", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(1100.0 + 350.0 * shift, 250.0), 400.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "blue", n, [&](size_t) {
+    return rng->Bernoulli(0.5) ? 1.0 : 0.0;
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "clock_speed", n, [&](size_t) {
+    return rng->Uniform(0.5, 3.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "dual_sim", n, [&](size_t) {
+    return rng->Bernoulli(0.5) ? 1.0 : 0.0;
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "int_memory", n, [&](size_t) {
+    return rng->Uniform(2.0, 64.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "m_dep", n, [&](size_t) {
+    return rng->Uniform(0.1, 1.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "mobile_wt", n, [&](size_t) {
+    return rng->Uniform(80.0, 200.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "n_cores", n, [&](size_t) {
+    return static_cast<double>(rng->UniformInt(1, 8));
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "px_height", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(640.0 + 380.0 * shift, 220.0), 0.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "px_width", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(1100.0 + 420.0 * shift, 260.0), 300.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "ram", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(1200.0 + 2300.0 * shift, 350.0), 256.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "sc_h", n, [&](size_t) {
+    return rng->Uniform(5.0, 19.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "talk_time", n, [&](size_t) {
+    return rng->Uniform(2.0, 20.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "touch_screen", n, [&](size_t) {
+    return rng->Bernoulli(0.5) ? 1.0 : 0.0;
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "wifi", n, [&](size_t) {
+    return rng->Bernoulli(0.5) ? 1.0 : 0.0;
+  }));
+  return df;
+}
+
+StatusOr<dataframe::DataFrame> GenerateHouse(size_t n, bool expensive,
+                                             Rng* rng) {
+  if (n == 0) return Status::InvalidArgument("GenerateHouse: n == 0");
+  double s = expensive ? 1.0 : 0.0;
+  dataframe::DataFrame df;
+  // "Holistic": many attributes each shift moderately with the price
+  // band (no single dominant cause, unlike mobile's RAM).
+  std::vector<double> first_sf(n), second_sf(n);
+  for (size_t i = 0; i < n; ++i) {
+    first_sf[i] = ClampMin(rng->Gaussian(1050.0 + 450.0 * s, 220.0), 400.0);
+    second_sf[i] = expensive && rng->Bernoulli(0.6)
+                       ? rng->Gaussian(700.0, 180.0)
+                       : (rng->Bernoulli(0.3) ? rng->Gaussian(450.0, 140.0)
+                                              : 0.0);
+    second_sf[i] = ClampMin(second_sf[i], 0.0);
+  }
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "GrLivArea", n, [&](size_t i) {
+    return first_sf[i] + second_sf[i] + rng->Gaussian(0.0, 40.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "OverallQual", n, [&](size_t) {
+    return std::clamp(rng->Gaussian(5.2 + 2.3 * s, 1.0), 1.0, 10.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "YearBuilt", n, [&](size_t) {
+    return std::clamp(rng->Gaussian(1958.0 + 35.0 * s, 18.0), 1880.0, 2010.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "FullBath", n, [&](size_t) {
+    return std::round(std::clamp(rng->Gaussian(1.3 + 0.9 * s, 0.5), 1.0, 4.0));
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "GarageArea", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(420.0 + 220.0 * s, 130.0), 0.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "TotRmsAbvGrd", n, [&](size_t) {
+    return std::round(std::clamp(rng->Gaussian(5.8 + 1.8 * s, 1.1), 3.0, 12.0));
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "FirstFlrSF", n,
+                                [&](size_t i) { return first_sf[i]; }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "SecondFlrSF", n,
+                                [&](size_t i) { return second_sf[i]; }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "LotArea", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(9200.0 + 2800.0 * s, 2600.0), 1500.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "Fireplaces", n, [&](size_t) {
+    return std::round(
+        std::clamp(rng->Gaussian(0.4 + 0.9 * s, 0.55), 0.0, 3.0));
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "MasVnrArea", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(60.0 + 180.0 * s, 90.0), 0.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "BsmtFinSF1", n, [&](size_t) {
+    return ClampMin(rng->Gaussian(380.0 + 300.0 * s, 210.0), 0.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "YearRemodAdd", n, [&](size_t) {
+    return std::clamp(rng->Gaussian(1975.0 + 22.0 * s, 15.0), 1950.0, 2010.0);
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "ScreenPorch", n, [&](size_t) {
+    return rng->Bernoulli(0.1 + 0.1 * s) ? rng->Uniform(80.0, 300.0) : 0.0;
+  }));
+  CCS_RETURN_IF_ERROR(AddColumn(&df, "BsmtFullBath", n, [&](size_t) {
+    return std::round(
+        std::clamp(rng->Gaussian(0.35 + 0.5 * s, 0.5), 0.0, 2.0));
+  }));
+  return df;
+}
+
+}  // namespace ccs::synth

@@ -1,0 +1,43 @@
+// Synthetic tabular case-study datasets (substitutes for the Kaggle
+// Cardiovascular Disease [1], Mobile Prices [4], and House Prices [3]
+// datasets of the Fig. 12 explanation experiments).
+//
+// Each generator plants a known causal structure so responsibility
+// attribution can be validated:
+//   - cardio: disease manifests chiefly through elevated blood pressure
+//     (ap_hi / ap_lo) with weaker weight/cholesterol effects;
+//   - mobile: price class is driven dominantly by RAM;
+//   - house:  price is driven holistically by many attributes at once.
+
+#ifndef CCS_SYNTH_TABULAR_H_
+#define CCS_SYNTH_TABULAR_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::synth {
+
+/// Cardiovascular patients. `diseased` selects the population.
+/// Numeric columns: age, gender, height, weight, ap_hi, ap_lo,
+/// cholesterol, gluc, smoke, alco, active.
+StatusOr<dataframe::DataFrame> GenerateCardio(size_t n, bool diseased,
+                                              Rng* rng);
+
+/// Mobile phones. `expensive` selects the price class. Numeric columns:
+/// battery_power, blue, clock_speed, dual_sim, int_memory, m_dep,
+/// mobile_wt, n_cores, px_height, px_width, ram, sc_h, talk_time,
+/// touch_screen, wifi.
+StatusOr<dataframe::DataFrame> GenerateMobile(size_t n, bool expensive,
+                                              Rng* rng);
+
+/// Houses. `expensive` selects the price band. Numeric columns:
+/// GrLivArea, OverallQual, YearBuilt, FullBath, GarageArea,
+/// TotRmsAbvGrd, FirstFlrSF, SecondFlrSF, LotArea, Fireplaces,
+/// MasVnrArea, BsmtFinSF1, YearRemodAdd, ScreenPorch, BsmtFullBath.
+StatusOr<dataframe::DataFrame> GenerateHouse(size_t n, bool expensive,
+                                             Rng* rng);
+
+}  // namespace ccs::synth
+
+#endif  // CCS_SYNTH_TABULAR_H_

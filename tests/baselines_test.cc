@@ -1,0 +1,225 @@
+// Tests for baselines/: PCA-SPLL, CD, W-PCA — and their characteristic
+// blind spots relative to conformance constraints.
+
+#include <gtest/gtest.h>
+
+#include "baselines/cd.h"
+#include "baselines/pca_spll.h"
+#include "baselines/wpca.h"
+#include "common/random.h"
+#include "synth/evl.h"
+
+namespace ccs::baselines {
+namespace {
+
+using dataframe::DataFrame;
+
+DataFrame GaussianBlob(double cx, double cy, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Gaussian(cx, 1.0);
+    y[i] = rng.Gaussian(cy, 1.0);
+  }
+  DataFrame df;
+  CCS_CHECK(df.AddNumericColumn("x", std::move(x)).ok());
+  CCS_CHECK(df.AddNumericColumn("y", std::move(y)).ok());
+  return df;
+}
+
+template <typename Detector>
+void ExpectDetectsGlobalShift(Detector* detector) {
+  DataFrame reference = GaussianBlob(0.0, 0.0, 600, 1);
+  ASSERT_TRUE(detector->Fit(reference).ok());
+  double self = detector->Score(GaussianBlob(0.0, 0.0, 300, 2)).value();
+  double shifted = detector->Score(GaussianBlob(6.0, 6.0, 300, 3)).value();
+  EXPECT_GT(shifted, self * 1.5 + 1e-6) << detector->name();
+}
+
+// Correlated blob: y = x + small noise, shifted off-trend by `offset`.
+DataFrame TrendBlob(double offset, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-5.0, 5.0);
+    y[i] = x[i] + offset + rng.Gaussian(0.0, 0.2);
+  }
+  DataFrame df;
+  CCS_CHECK(df.AddNumericColumn("x", std::move(x)).ok());
+  CCS_CHECK(df.AddNumericColumn("y", std::move(y)).ok());
+  return df;
+}
+
+// PCA-SPLL keeps only LOW-variance components, so it is tested on data
+// that has one (a tight trend) with a shift that breaks the trend. On an
+// isotropic blob it retains nothing — the Fig. 8 failure mode, covered by
+// DiscardsEverythingOnIsotropicData below.
+TEST(PcaSpllTest, DetectsOffTrendShift) {
+  PcaSpll detector;
+  ASSERT_TRUE(detector.Fit(TrendBlob(0.0, 600, 30)).ok());
+  double self = detector.Score(TrendBlob(0.0, 300, 31)).value();
+  double shifted = detector.Score(TrendBlob(3.0, 300, 32)).value();
+  EXPECT_GT(shifted, self * 5.0 + 1e-6);
+}
+
+TEST(PcaSpllTest, DiscardsEverythingOnIsotropicData) {
+  // Both PCs carry ~50% of the variance; none fits under the 25% budget,
+  // so PCA-SPLL goes blind — the paper's observed failure mode.
+  PcaSpll detector;
+  ASSERT_TRUE(detector.Fit(GaussianBlob(0.0, 0.0, 600, 33)).ok());
+  EXPECT_EQ(detector.num_retained(), 0u);
+  EXPECT_DOUBLE_EQ(detector.Score(GaussianBlob(9.0, 9.0, 300, 34)).value(),
+                   0.0);
+}
+
+TEST(CdAreaTest, DetectsGlobalShift) {
+  ChangeDetection detector;
+  ExpectDetectsGlobalShift(&detector);
+}
+
+TEST(CdMklTest, DetectsGlobalShift) {
+  CdOptions options;
+  options.metric = CdMetric::kMkl;
+  ChangeDetection detector(options);
+  ExpectDetectsGlobalShift(&detector);
+}
+
+TEST(WpcaTest, DetectsGlobalShift) {
+  WeightedPca detector;
+  ExpectDetectsGlobalShift(&detector);
+}
+
+TEST(ConformanceDetectorTest, DetectsGlobalShift) {
+  ConformanceDetector detector;
+  ExpectDetectsGlobalShift(&detector);
+}
+
+TEST(DetectorTest, NamesAreDistinct) {
+  PcaSpll a;
+  ChangeDetection b;
+  CdOptions mkl;
+  mkl.metric = CdMetric::kMkl;
+  ChangeDetection c(mkl);
+  WeightedPca d;
+  ConformanceDetector e;
+  std::set<std::string> names = {a.name(), b.name(), c.name(), d.name(),
+                                 e.name()};
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(DetectorTest, ScoreBeforeFitIsError) {
+  DataFrame w = GaussianBlob(0.0, 0.0, 50, 4);
+  PcaSpll spll;
+  EXPECT_FALSE(spll.Score(w).ok());
+  ChangeDetection cd;
+  EXPECT_FALSE(cd.Score(w).ok());
+}
+
+TEST(DetectorTest, EmptyReferenceIsError) {
+  DataFrame empty;
+  PcaSpll spll;
+  EXPECT_FALSE(spll.Fit(empty).ok());
+  ChangeDetection cd;
+  EXPECT_FALSE(cd.Fit(empty).ok());
+}
+
+TEST(ScoreSeriesTest, FitsOnFirstWindow) {
+  std::vector<DataFrame> windows;
+  windows.push_back(GaussianBlob(0.0, 0.0, 300, 5));
+  windows.push_back(GaussianBlob(0.0, 0.0, 300, 6));
+  windows.push_back(GaussianBlob(5.0, 5.0, 300, 7));
+  ChangeDetection cd;
+  auto series = ScoreSeries(&cd, windows);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 3u);
+  EXPECT_GT((*series)[2], (*series)[1]);
+}
+
+TEST(ScoreSeriesTest, EmptyWindowListIsError) {
+  ChangeDetection cd;
+  EXPECT_FALSE(ScoreSeries(&cd, {}).ok());
+}
+
+// The paper's central comparative claim (Fig. 6(c)/Fig. 8): on LOCAL
+// drift that preserves the global distribution (4CR class rotation),
+// conformance constraints with disjunctions see the drift while the
+// global-only methods are (nearly) blind.
+TEST(LocalDriftTest, ConformanceSeesClassRotationGlobalMethodsDoNot) {
+  Rng rng(8);
+  // 4CR at t=0 and t=0.5: classes swapped positions; union unchanged.
+  auto t0 = synth::GenerateEvlWindow("4CR", 0.0, 1200, &rng);
+  auto t_half = synth::GenerateEvlWindow("4CR", 0.5, 1200, &rng);
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t_half.ok());
+
+  ConformanceDetector cc;
+  ASSERT_TRUE(cc.Fit(*t0).ok());
+  double cc_self = cc.Score(*t0).value();
+  double cc_drift = cc.Score(*t_half).value();
+  EXPECT_GT(cc_drift, cc_self + 0.2)
+      << "disjunctive constraints must flag the class swap";
+
+  PcaSpll spll;
+  ASSERT_TRUE(spll.Fit(*t0).ok());
+  double spll_self = spll.Score(*t0).value();
+  double spll_drift = spll.Score(*t_half).value();
+  // PCA-SPLL sees at most a marginal change (global shape identical).
+  double spll_relative =
+      (spll_drift - spll_self) / (std::abs(spll_self) + 1e-9);
+  EXPECT_LT(spll_relative, 0.5)
+      << "global PCA-SPLL should be (nearly) blind to the local swap";
+}
+
+TEST(PcaSpllTest, RetainsOnlyLowVarianceComponents) {
+  // Strongly anisotropic data: x spans [-100,100], y is tight noise.
+  Rng rng(9);
+  std::vector<double> x(500), y(500);
+  for (size_t i = 0; i < 500; ++i) {
+    x[i] = rng.Uniform(-100.0, 100.0);
+    y[i] = rng.Gaussian(0.0, 0.5);
+  }
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", std::move(x)).ok());
+  ASSERT_TRUE(df.AddNumericColumn("y", std::move(y)).ok());
+  PcaSpll detector;
+  ASSERT_TRUE(detector.Fit(df).ok());
+  EXPECT_EQ(detector.num_retained(), 1u);  // Only the tight direction.
+}
+
+TEST(CdTest, RetainsHighVarianceComponents) {
+  Rng rng(10);
+  std::vector<double> x(500), y(500);
+  for (size_t i = 0; i < 500; ++i) {
+    x[i] = rng.Uniform(-100.0, 100.0);
+    y[i] = rng.Gaussian(0.0, 0.5);
+  }
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", std::move(x)).ok());
+  ASSERT_TRUE(df.AddNumericColumn("y", std::move(y)).ok());
+  ChangeDetection detector;
+  ASSERT_TRUE(detector.Fit(df).ok());
+  EXPECT_GE(detector.num_retained(), 1u);
+  // CD misses a shift confined to the LOW-variance direction when the
+  // variance threshold keeps only the dominant component.
+  CdOptions tight;
+  tight.variance_fraction = 0.5;  // Keep only the x component.
+  ChangeDetection narrow(tight);
+  ASSERT_TRUE(narrow.Fit(df).ok());
+  EXPECT_EQ(narrow.num_retained(), 1u);
+
+  std::vector<double> x2(300), y2(300);
+  Rng rng2(11);
+  for (size_t i = 0; i < 300; ++i) {
+    x2[i] = rng2.Uniform(-100.0, 100.0);
+    y2[i] = rng2.Gaussian(5.0, 0.5);  // Shift along y only.
+  }
+  DataFrame drifted;
+  ASSERT_TRUE(drifted.AddNumericColumn("x", std::move(x2)).ok());
+  ASSERT_TRUE(drifted.AddNumericColumn("y", std::move(y2)).ok());
+  double self = narrow.Score(df).value();
+  double shifted = narrow.Score(drifted).value();
+  EXPECT_LT(shifted - self, 0.2) << "CD with top-PC only misses the y shift";
+}
+
+}  // namespace
+}  // namespace ccs::baselines

@@ -1,0 +1,317 @@
+// Tests for core/projection and core/constraint: the conformance language
+// and its Boolean + quantitative semantics (paper §3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/constraint.h"
+#include "core/projection.h"
+
+namespace ccs::core {
+namespace {
+
+using dataframe::DataFrame;
+using linalg::Vector;
+
+Projection MakeProjection(std::vector<std::string> names, Vector coefs) {
+  auto p = Projection::Create(std::move(names), std::move(coefs));
+  CCS_CHECK(p.ok());
+  return std::move(p).value();
+}
+
+// --------------------------- Projection ------------------------------
+
+TEST(ProjectionTest, EvaluateAligned) {
+  Projection p = MakeProjection({"a", "b"}, Vector{2.0, -1.0});
+  EXPECT_DOUBLE_EQ(p.EvaluateAligned(Vector{3.0, 4.0}), 2.0);
+}
+
+TEST(ProjectionTest, EvaluateLocatesAttributesByName) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("b", {10.0}).ok());
+  ASSERT_TRUE(df.AddNumericColumn("a", {1.0}).ok());
+  Projection p = MakeProjection({"a", "b"}, Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(p.Evaluate(df, 0).value(), 11.0);
+}
+
+TEST(ProjectionTest, EvaluateAllMatchesRowwise) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("a", {1.0, 2.0, 3.0}).ok());
+  Projection p = MakeProjection({"a"}, Vector{3.0});
+  auto all = p.EvaluateAll(df);
+  ASSERT_TRUE(all.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ((*all)[i], p.Evaluate(df, i).value());
+  }
+}
+
+TEST(ProjectionTest, MissingAttributeIsError) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("a", {1.0}).ok());
+  Projection p = MakeProjection({"z"}, Vector{1.0});
+  EXPECT_FALSE(p.Evaluate(df, 0).ok());
+}
+
+TEST(ProjectionTest, NormalizedUnitNorm) {
+  Projection p = MakeProjection({"a", "b"}, Vector{3.0, 4.0});
+  auto n = p.Normalized();
+  ASSERT_TRUE(n.ok());
+  EXPECT_NEAR(n->coefficients().Norm(), 1.0, 1e-12);
+}
+
+TEST(ProjectionTest, CreateRejectsBadInput) {
+  EXPECT_FALSE(Projection::Create({"a"}, Vector{1.0, 2.0}).ok());
+  EXPECT_FALSE(Projection::Create({}, Vector()).ok());
+}
+
+TEST(ProjectionTest, ToStringReadable) {
+  Projection p = MakeProjection({"AT", "DT", "DUR"}, Vector{1.0, -1.0, -1.0});
+  EXPECT_EQ(p.ToString(), "AT - DT - DUR");
+  Projection q = MakeProjection({"x", "y"}, Vector{0.5, 0.0});
+  EXPECT_EQ(q.ToString(), "0.5*x");
+}
+
+// ----------------------- BoundedConstraint ---------------------------
+
+// The Example 4 setting: projection AT - DT - DUR with sigma = 3.6.
+BoundedConstraint ExampleConstraint() {
+  Projection p = MakeProjection({"AT", "DT", "DUR"}, Vector{1.0, -1.0, -1.0});
+  return BoundedConstraint(std::move(p), /*lb=*/-5.0, /*ub=*/5.0,
+                           /*mean=*/-0.5, /*stddev=*/3.6, /*importance=*/1.0);
+}
+
+TEST(BoundedConstraintTest, SatisfiedTupleHasZeroViolation) {
+  BoundedConstraint c = ExampleConstraint();
+  // t1 of Fig. 1: 18:20 - 14:30 = 230 min scheduled, duration 230.
+  Vector t1{1100.0, 870.0, 230.0};
+  EXPECT_TRUE(c.IsSatisfiedAligned(t1));
+  EXPECT_DOUBLE_EQ(c.ViolationAligned(t1), 0.0);
+}
+
+TEST(BoundedConstraintTest, OvernightFlightViolatesStrongly) {
+  BoundedConstraint c = ExampleConstraint();
+  // t5 of Fig. 1: arrival 06:10 (370), departure 22:30 (1350), 458 min.
+  Vector t5{370.0, 1350.0, 458.0};
+  EXPECT_FALSE(c.IsSatisfiedAligned(t5));
+  // Example 4 computes the violation as ~1.
+  EXPECT_NEAR(c.ViolationAligned(t5), 1.0, 1e-9);
+}
+
+TEST(BoundedConstraintTest, ViolationIsInUnitInterval) {
+  BoundedConstraint c = ExampleConstraint();
+  for (double v : {-1e9, -100.0, 0.0, 5.0, 5.1, 100.0, 1e9}) {
+    double violation = c.ViolationOfValue(v);
+    EXPECT_GE(violation, 0.0);
+    EXPECT_LT(violation, 1.0 + 1e-12);
+  }
+}
+
+TEST(BoundedConstraintTest, ViolationZeroExactlyInsideBounds) {
+  BoundedConstraint c = ExampleConstraint();
+  EXPECT_DOUBLE_EQ(c.ViolationOfValue(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.ViolationOfValue(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.ViolationOfValue(0.0), 0.0);
+  EXPECT_GT(c.ViolationOfValue(5.0001), 0.0);
+  EXPECT_GT(c.ViolationOfValue(-5.0001), 0.0);
+}
+
+TEST(BoundedConstraintTest, ViolationMonotoneInDistance) {
+  BoundedConstraint c = ExampleConstraint();
+  double prev = 0.0;
+  for (double v = 5.0; v < 50.0; v += 1.0) {
+    double violation = c.ViolationOfValue(v);
+    EXPECT_GE(violation, prev);
+    prev = violation;
+  }
+}
+
+TEST(BoundedConstraintTest, ZeroStddevActsAsEqualityConstraint) {
+  Projection p = MakeProjection({"x"}, Vector{1.0});
+  BoundedConstraint c(std::move(p), 2.0, 2.0, 2.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.ViolationAligned(Vector{2.0}), 0.0);
+  // Any deviation saturates violation to ~1 (alpha is huge).
+  EXPECT_NEAR(c.ViolationAligned(Vector{2.0001}), 1.0, 1e-9);
+}
+
+// Lemma 5: larger standardized deviation => no smaller violation, across
+// two different constraints.
+TEST(BoundedConstraintTest, Lemma5CrossConstraintMonotonicity) {
+  Projection p1 = MakeProjection({"x"}, Vector{1.0});
+  Projection p2 = MakeProjection({"x"}, Vector{1.0});
+  BoundedConstraint narrow(std::move(p1), -1.0, 1.0, 0.0, 0.25, 1.0);
+  BoundedConstraint wide(std::move(p2), -4.0, 4.0, 0.0, 1.0, 1.0);
+  for (double x : {1.5, 2.0, 5.0, 10.0}) {
+    double z_narrow = std::abs(x - 0.0) / 0.25;
+    double z_wide = std::abs(x - 0.0) / 1.0;
+    ASSERT_GT(z_narrow, z_wide);
+    EXPECT_GE(narrow.ViolationAligned(Vector{x}),
+              wide.ViolationAligned(Vector{x}));
+  }
+}
+
+// ----------------------- SimpleConstraint ----------------------------
+
+SimpleConstraint MakeSimple() {
+  Projection p1 = MakeProjection({"x", "y"}, Vector{1.0, 0.0});
+  Projection p2 = MakeProjection({"x", "y"}, Vector{0.0, 1.0});
+  std::vector<BoundedConstraint> conjuncts;
+  conjuncts.emplace_back(std::move(p1), -1.0, 1.0, 0.0, 0.5, 0.7);
+  conjuncts.emplace_back(std::move(p2), -2.0, 2.0, 0.0, 1.0, 0.3);
+  auto c = SimpleConstraint::Create({"x", "y"}, std::move(conjuncts));
+  CCS_CHECK(c.ok());
+  return std::move(c).value();
+}
+
+TEST(SimpleConstraintTest, ConjunctionBooleanSemantics) {
+  SimpleConstraint c = MakeSimple();
+  EXPECT_TRUE(c.IsSatisfiedAligned(Vector{0.5, 1.0}));
+  EXPECT_FALSE(c.IsSatisfiedAligned(Vector{1.5, 0.0}));   // First violated.
+  EXPECT_FALSE(c.IsSatisfiedAligned(Vector{0.0, 3.0}));   // Second violated.
+}
+
+TEST(SimpleConstraintTest, ViolationIsImportanceWeightedSum) {
+  SimpleConstraint c = MakeSimple();
+  Vector t{10.0, 0.0};  // Violates only the first conjunct.
+  double v1 = c.conjuncts()[0].ViolationAligned(t);
+  EXPECT_NEAR(c.ViolationAligned(t), 0.7 * v1, 1e-12);
+}
+
+TEST(SimpleConstraintTest, ViolationBoundedByOne) {
+  SimpleConstraint c = MakeSimple();
+  EXPECT_LE(c.ViolationAligned(Vector{1e12, -1e12}), 1.0);
+}
+
+TEST(SimpleConstraintTest, ViolationAllMatchesPerRow) {
+  SimpleConstraint c = MakeSimple();
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", {0.0, 5.0}).ok());
+  ASSERT_TRUE(df.AddNumericColumn("y", {0.0, 5.0}).ok());
+  auto all = c.ViolationAll(df);
+  ASSERT_TRUE(all.ok());
+  EXPECT_DOUBLE_EQ((*all)[0], c.Violation(df, 0).value());
+  EXPECT_DOUBLE_EQ((*all)[1], c.Violation(df, 1).value());
+  EXPECT_DOUBLE_EQ((*all)[0], 0.0);
+  EXPECT_GT((*all)[1], 0.0);
+}
+
+TEST(SimpleConstraintTest, CreateRejectsMismatchedConjuncts) {
+  Projection p = MakeProjection({"other"}, Vector{1.0});
+  std::vector<BoundedConstraint> conjuncts;
+  conjuncts.emplace_back(std::move(p), 0.0, 1.0, 0.5, 0.1, 1.0);
+  EXPECT_FALSE(SimpleConstraint::Create({"x"}, std::move(conjuncts)).ok());
+}
+
+TEST(SimpleConstraintTest, RowOutOfRangeIsError) {
+  SimpleConstraint c = MakeSimple();
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", {0.0}).ok());
+  ASSERT_TRUE(df.AddNumericColumn("y", {0.0}).ok());
+  EXPECT_FALSE(c.Violation(df, 5).ok());
+}
+
+// --------------------- DisjunctiveConstraint -------------------------
+
+DataFrame MonthFrame() {
+  DataFrame df;
+  CCS_CHECK(df.AddNumericColumn("x", {0.0, 0.0, 10.0}).ok());
+  CCS_CHECK(df.AddCategoricalColumn("m", {"May", "June", "August"}).ok());
+  return df;
+}
+
+DisjunctiveConstraint MakeDisjunctive() {
+  auto make_case = [](double lb, double ub) {
+    Projection p = MakeProjection({"x"}, Vector{1.0});
+    std::vector<BoundedConstraint> cs;
+    cs.emplace_back(std::move(p), lb, ub, (lb + ub) / 2.0, 1.0, 1.0);
+    auto c = SimpleConstraint::Create({"x"}, std::move(cs));
+    CCS_CHECK(c.ok());
+    return std::move(c).value();
+  };
+  std::map<std::string, SimpleConstraint> cases;
+  cases.emplace("May", make_case(-2.0, 2.0));
+  cases.emplace("June", make_case(-1.0, 5.0));
+  return DisjunctiveConstraint("m", std::move(cases));
+}
+
+TEST(DisjunctiveConstraintTest, DispatchesOnSwitchValue) {
+  DisjunctiveConstraint d = MakeDisjunctive();
+  DataFrame df = MonthFrame();
+  EXPECT_DOUBLE_EQ(d.Violation(df, 0).value(), 0.0);  // May, x=0 in bounds.
+  EXPECT_DOUBLE_EQ(d.Violation(df, 1).value(), 0.0);  // June.
+}
+
+TEST(DisjunctiveConstraintTest, UnseenValueMeansMaximalViolation) {
+  DisjunctiveConstraint d = MakeDisjunctive();
+  DataFrame df = MonthFrame();
+  // Row 2 is "August": simp undefined => violation 1 (paper §3.2).
+  EXPECT_DOUBLE_EQ(d.Violation(df, 2).value(), 1.0);
+  EXPECT_FALSE(d.IsSatisfied(df, 2).value());
+}
+
+TEST(DisjunctiveConstraintTest, SimplifyReturnsCase) {
+  DisjunctiveConstraint d = MakeDisjunctive();
+  DataFrame df = MonthFrame();
+  auto c = d.Simplify(df, 0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c.value()).conjuncts().size(), 1u);
+  EXPECT_EQ(d.Simplify(df, 2).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DisjunctiveConstraintTest, ViolationAllMatchesPerRow) {
+  DisjunctiveConstraint d = MakeDisjunctive();
+  DataFrame df = MonthFrame();
+  auto all = d.ViolationAll(df);
+  ASSERT_TRUE(all.ok());
+  for (size_t i = 0; i < df.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ((*all)[i], d.Violation(df, i).value());
+  }
+}
+
+// --------------------- ConformanceConstraint -------------------------
+
+TEST(ConformanceConstraintTest, AveragesGroups) {
+  SimpleConstraint global = MakeSimple();
+  DisjunctiveConstraint disj = MakeDisjunctive();
+  ConformanceConstraint phi(global, {disj});
+  EXPECT_EQ(phi.num_groups(), 2u);
+
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", {0.0}).ok());
+  ASSERT_TRUE(df.AddNumericColumn("y", {0.0}).ok());
+  ASSERT_TRUE(df.AddCategoricalColumn("m", {"August"}).ok());
+  // Global satisfied (0), disjunctive unseen (1): average 0.5.
+  EXPECT_DOUBLE_EQ(phi.Violation(df, 0).value(), 0.5);
+}
+
+TEST(ConformanceConstraintTest, EmptyConstraintIsError) {
+  ConformanceConstraint phi;
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", {0.0}).ok());
+  EXPECT_FALSE(phi.Violation(df, 0).ok());
+}
+
+TEST(ConformanceConstraintTest, MeanViolationAveragesRows) {
+  SimpleConstraint global = MakeSimple();
+  ConformanceConstraint phi(global, {});
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", {0.0, 1e9}).ok());
+  ASSERT_TRUE(df.AddNumericColumn("y", {0.0, 0.0}).ok());
+  auto mean = phi.MeanViolation(df);
+  ASSERT_TRUE(mean.ok());
+  auto v1 = phi.Violation(df, 1).value();
+  EXPECT_NEAR(*mean, v1 / 2.0, 1e-12);
+}
+
+TEST(ConformanceConstraintTest, IsSatisfiedMatchesZeroViolation) {
+  SimpleConstraint global = MakeSimple();
+  ConformanceConstraint phi(global, {});
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", {0.0, 99.0}).ok());
+  ASSERT_TRUE(df.AddNumericColumn("y", {0.0, 0.0}).ok());
+  EXPECT_TRUE(phi.IsSatisfied(df, 0).value());
+  EXPECT_FALSE(phi.IsSatisfied(df, 1).value());
+}
+
+}  // namespace
+}  // namespace ccs::core

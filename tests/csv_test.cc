@@ -1,0 +1,160 @@
+// Tests for the CSV reader/writer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dataframe/csv.h"
+
+namespace ccs::dataframe {
+namespace {
+
+StatusOr<DataFrame> Parse(const std::string& text,
+                          CsvOptions options = CsvOptions()) {
+  std::istringstream in(text);
+  return ReadCsv(in, options);
+}
+
+TEST(CsvTest, BasicReadWithHeader) {
+  auto df = Parse("x,y,tag\n1,10,a\n2,20,b\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 2u);
+  EXPECT_EQ(df->num_columns(), 3u);
+  EXPECT_DOUBLE_EQ(df->NumericValue(1, "y").value(), 20.0);
+  EXPECT_EQ(df->CategoricalValue(0, "tag").value(), "a");
+}
+
+TEST(CsvTest, TypeInferenceNumericVsCategorical) {
+  auto df = Parse("a,b\n1,x1\n2.5,x2\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->schema().attribute(0).type, AttributeType::kNumeric);
+  EXPECT_EQ(df->schema().attribute(1).type, AttributeType::kCategorical);
+}
+
+TEST(CsvTest, MixedColumnFallsBackToCategorical) {
+  auto df = Parse("a\n1\nhello\n3\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->schema().attribute(0).type, AttributeType::kCategorical);
+}
+
+TEST(CsvTest, NoHeaderGeneratesNames) {
+  CsvOptions options;
+  options.has_header = false;
+  auto df = Parse("1,2\n3,4\n", options);
+  ASSERT_TRUE(df.ok());
+  EXPECT_TRUE(df->schema().Contains("c0"));
+  EXPECT_TRUE(df->schema().Contains("c1"));
+  EXPECT_EQ(df->num_rows(), 2u);
+}
+
+TEST(CsvTest, InferTypesOffMakesEverythingCategorical) {
+  CsvOptions options;
+  options.infer_types = false;
+  auto df = Parse("a\n1\n2\n", options);
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->schema().attribute(0).type, AttributeType::kCategorical);
+}
+
+TEST(CsvTest, QuotedFieldWithDelimiter) {
+  auto df = Parse("name,v\n\"hello, world\",1\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->CategoricalValue(0, "name").value(), "hello, world");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto df = Parse("name\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->CategoricalValue(0, "name").value(), "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewlineInsideField) {
+  auto df = Parse("name,v\n\"line1\nline2\",3\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 1u);
+  EXPECT_EQ(df->CategoricalValue(0, "name").value(), "line1\nline2");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto df = Parse("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(df->NumericValue(1, "b").value(), 4.0);
+}
+
+TEST(CsvTest, MissingNumericCellUsesFillValue) {
+  CsvOptions options;
+  options.missing_numeric = -1.0;
+  auto df = Parse("a\n1\n\n3\n", options);
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->schema().attribute(0).type, AttributeType::kNumeric);
+  EXPECT_DOUBLE_EQ(df->NumericValue(1, "a").value(), -1.0);
+}
+
+TEST(CsvTest, AllEmptyColumnIsCategorical) {
+  auto df = Parse("a,b\n1,\n2,\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->schema().attribute(1).type, AttributeType::kCategorical);
+}
+
+TEST(CsvTest, RaggedRowIsError) {
+  auto df = Parse("a,b\n1,2\n3\n");
+  EXPECT_FALSE(df.ok());
+  EXPECT_EQ(df.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(Parse("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, EmptyInputIsError) { EXPECT_FALSE(Parse("").ok()); }
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto df = Parse("a;b\n1;2\n", options);
+  ASSERT_TRUE(df.ok());
+  EXPECT_DOUBLE_EQ(df->NumericValue(0, "b").value(), 2.0);
+}
+
+TEST(CsvTest, WriteThenReadRoundTrips) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", {1.5, -2.25}).ok());
+  ASSERT_TRUE(df.AddCategoricalColumn("s", {"plain", "with,comma"}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(df, out).ok());
+  auto back = Parse(out.str());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(back->NumericValue(1, "x").value(), -2.25);
+  EXPECT_EQ(back->CategoricalValue(1, "s").value(), "with,comma");
+}
+
+TEST(CsvTest, WriteQuotesSpecialCharacters) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddCategoricalColumn("s", {"a\"b"}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(df, out).ok());
+  EXPECT_NE(out.str().find("\"a\"\"b\""), std::string::npos);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/ccs_csv_test.csv";
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("v", {3.0, 7.0}).ok());
+  ASSERT_TRUE(WriteCsvFile(df, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(back->NumericValue(1, "v").value(), 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto df = ReadCsvFile("/nonexistent/dir/file.csv");
+  EXPECT_EQ(df.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ccs::dataframe

@@ -1,0 +1,228 @@
+// Tests for core/drift, core/tml, core/monitor: dataset-level drift
+// quantification, the safety envelope, and streaming maintenance.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/drift.h"
+#include "core/monitor.h"
+#include "core/tml.h"
+
+namespace ccs::core {
+namespace {
+
+using dataframe::DataFrame;
+using linalg::Vector;
+
+// y = x + noise, optionally shifted off-trend by `offset` on y.
+DataFrame TrendFrame(size_t n, double offset, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-5.0, 5.0);
+    y[i] = x[i] + offset + rng.Gaussian(0.0, 0.1);
+  }
+  DataFrame df;
+  CCS_CHECK(df.AddNumericColumn("x", std::move(x)).ok());
+  CCS_CHECK(df.AddNumericColumn("y", std::move(y)).ok());
+  return df;
+}
+
+// ------------------------ drift quantifier ----------------------------
+
+TEST(DriftQuantifierTest, SelfScoreIsNearZero) {
+  ConformanceDriftQuantifier q;
+  DataFrame reference = TrendFrame(500, 0.0, 1);
+  ASSERT_TRUE(q.Fit(reference).ok());
+  EXPECT_LT(q.Score(reference).value(), 0.01);
+}
+
+TEST(DriftQuantifierTest, HeldOutSameDistributionScoresLow) {
+  ConformanceDriftQuantifier q;
+  ASSERT_TRUE(q.Fit(TrendFrame(500, 0.0, 2)).ok());
+  EXPECT_LT(q.Score(TrendFrame(500, 0.0, 3)).value(), 0.02);
+}
+
+TEST(DriftQuantifierTest, DriftIncreasesScoreMonotonically) {
+  ConformanceDriftQuantifier q;
+  ASSERT_TRUE(q.Fit(TrendFrame(500, 0.0, 4)).ok());
+  double prev = -1.0;
+  for (double offset : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+    double score = q.Score(TrendFrame(300, offset, 5)).value();
+    EXPECT_GE(score, prev - 0.005) << "offset " << offset;
+    prev = score;
+  }
+  EXPECT_GT(q.Score(TrendFrame(300, 8.0, 6)).value(), 0.5);
+}
+
+TEST(DriftQuantifierTest, ScoreBeforeFitIsError) {
+  ConformanceDriftQuantifier q;
+  EXPECT_FALSE(q.Score(TrendFrame(10, 0.0, 7)).ok());
+  EXPECT_FALSE(q.TupleViolations(TrendFrame(10, 0.0, 7)).ok());
+}
+
+TEST(DriftSeriesTest, FirstWindowIsReference) {
+  std::vector<DataFrame> windows;
+  for (double offset : {0.0, 0.5, 1.0, 2.0}) {
+    windows.push_back(TrendFrame(300, offset, 8));
+  }
+  auto series = DriftSeries(windows);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 4u);
+  EXPECT_LT((*series)[0], 0.01);
+  EXPECT_LT((*series)[0], (*series)[3]);
+}
+
+TEST(NormalizeSeriesTest, MapsToUnitRange) {
+  auto out = NormalizeSeries({2.0, 4.0, 3.0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(NormalizeSeriesTest, ConstantSeriesMapsToZero) {
+  auto out = NormalizeSeries({3.0, 3.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_TRUE(NormalizeSeries({}).empty());
+}
+
+// ------------------------ safety envelope -----------------------------
+
+TEST(SafetyEnvelopeTest, ConformingTuplesAreTrusted) {
+  DataFrame train = TrendFrame(500, 0.0, 9);
+  auto envelope = SafetyEnvelope::Fit(train, {});
+  ASSERT_TRUE(envelope.ok());
+  DataFrame serving = TrendFrame(100, 0.0, 10);
+  auto verdicts = envelope->AssessAll(serving);
+  ASSERT_TRUE(verdicts.ok());
+  size_t unsafe = 0;
+  for (const auto& v : *verdicts) {
+    if (v.unsafe) ++unsafe;
+  }
+  EXPECT_LT(unsafe, 5u);
+}
+
+TEST(SafetyEnvelopeTest, OffTrendTuplesAreUnsafe) {
+  DataFrame train = TrendFrame(500, 0.0, 11);
+  auto envelope = SafetyEnvelope::Fit(train, {});
+  ASSERT_TRUE(envelope.ok());
+  DataFrame serving = TrendFrame(100, 10.0, 12);
+  EXPECT_GT(envelope->UnsafeFraction(serving).value(), 0.9);
+}
+
+TEST(SafetyEnvelopeTest, TargetAttributeIsExcluded) {
+  DataFrame train = TrendFrame(200, 0.0, 13);
+  auto envelope = SafetyEnvelope::Fit(train, {"y"});
+  ASSERT_TRUE(envelope.ok());
+  // The envelope must not reference y at all: a wild y is fine.
+  DataFrame serving;
+  ASSERT_TRUE(serving.AddNumericColumn("x", {0.0}).ok());
+  ASSERT_TRUE(serving.AddNumericColumn("y", {1e9}).ok());
+  auto verdict = envelope->Assess(serving, 0);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_FALSE(verdict->unsafe);
+}
+
+TEST(SafetyEnvelopeTest, TrustIsOneMinusViolation) {
+  DataFrame train = TrendFrame(200, 0.0, 14);
+  auto envelope = SafetyEnvelope::Fit(train, {});
+  ASSERT_TRUE(envelope.ok());
+  DataFrame serving = TrendFrame(10, 5.0, 15);
+  auto verdict = envelope->Assess(serving, 0);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_NEAR(verdict->trust, 1.0 - verdict->violation, 1e-12);
+}
+
+TEST(SafetyEnvelopeTest, InvalidThresholdIsError) {
+  DataFrame train = TrendFrame(50, 0.0, 16);
+  EXPECT_FALSE(SafetyEnvelope::Fit(train, {}, -0.1).ok());
+  EXPECT_FALSE(SafetyEnvelope::Fit(train, {}, 1.5).ok());
+}
+
+// --------------------- incremental synthesizer ------------------------
+
+TEST(IncrementalSynthesizerTest, MatchesBatchSynthesis) {
+  DataFrame df = TrendFrame(300, 0.0, 17);
+  Synthesizer batch;
+  auto batch_constraint = batch.SynthesizeSimple(df);
+  ASSERT_TRUE(batch_constraint.ok());
+
+  IncrementalSynthesizer incremental({"x", "y"});
+  ASSERT_TRUE(incremental.ObserveAll(df).ok());
+  auto inc_constraint = incremental.Synthesize();
+  ASSERT_TRUE(inc_constraint.ok());
+
+  ASSERT_EQ(batch_constraint->conjuncts().size(),
+            inc_constraint->conjuncts().size());
+  for (size_t k = 0; k < batch_constraint->conjuncts().size(); ++k) {
+    EXPECT_NEAR(batch_constraint->conjuncts()[k].stddev(),
+                inc_constraint->conjuncts()[k].stddev(), 1e-9);
+  }
+}
+
+TEST(IncrementalSynthesizerTest, MergePartitionsEqualsWhole) {
+  DataFrame df = TrendFrame(200, 0.0, 18);
+  IncrementalSynthesizer whole({"x", "y"});
+  IncrementalSynthesizer part1({"x", "y"});
+  IncrementalSynthesizer part2({"x", "y"});
+  ASSERT_TRUE(whole.ObserveAll(df).ok());
+  ASSERT_TRUE(part1.ObserveAll(df.Slice(0, 100)).ok());
+  ASSERT_TRUE(part2.ObserveAll(df.Slice(100, 200)).ok());
+  ASSERT_TRUE(part1.Merge(part2).ok());
+  EXPECT_EQ(part1.count(), whole.count());
+  auto a = whole.Synthesize();
+  auto b = part1.Synthesize();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->conjuncts()[0].stddev(), b->conjuncts()[0].stddev(), 1e-9);
+}
+
+TEST(IncrementalSynthesizerTest, MergeRejectsSchemaMismatch) {
+  IncrementalSynthesizer a({"x"});
+  IncrementalSynthesizer b({"y"});
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(IncrementalSynthesizerTest, ObserveSingleTuples) {
+  IncrementalSynthesizer inc({"x", "y"});
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform(-2.0, 2.0);
+    inc.Observe(Vector{x, 2.0 * x});
+  }
+  EXPECT_EQ(inc.count(), 100);
+  auto constraint = inc.Synthesize();
+  ASSERT_TRUE(constraint.ok());
+  // The 2x-x trend must be captured: the off-trend probe violates.
+  EXPECT_GT(constraint->ViolationAligned(Vector{1.0, -2.0}), 0.5);
+}
+
+// --------------------------- StreamMonitor ----------------------------
+
+TEST(StreamMonitorTest, AlarmsOnDriftedWindowOnly) {
+  DataFrame reference = TrendFrame(500, 0.0, 20);
+  auto monitor = StreamMonitor::Create(reference, 0.1);
+  ASSERT_TRUE(monitor.ok());
+
+  auto ok_score = monitor->ObserveWindow(TrendFrame(200, 0.0, 21));
+  ASSERT_TRUE(ok_score.ok());
+  EXPECT_FALSE(ok_score->alarm);
+
+  auto drift_score = monitor->ObserveWindow(TrendFrame(200, 6.0, 22));
+  ASSERT_TRUE(drift_score.ok());
+  EXPECT_TRUE(drift_score->alarm);
+
+  ASSERT_EQ(monitor->history().size(), 2u);
+  EXPECT_EQ(monitor->history()[1].window_index, 1u);
+}
+
+TEST(StreamMonitorTest, InvalidThresholdIsError) {
+  DataFrame reference = TrendFrame(50, 0.0, 23);
+  EXPECT_FALSE(StreamMonitor::Create(reference, -0.5).ok());
+  EXPECT_FALSE(StreamMonitor::Create(reference, 2.0).ok());
+}
+
+}  // namespace
+}  // namespace ccs::core

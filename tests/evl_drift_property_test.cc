@@ -1,0 +1,119 @@
+// Parameterized drift-shape properties across ALL 16 EVL datasets: the
+// conformance drift series must start at (near) zero, react to the drift,
+// and respect each dataset family's trajectory (monotone-ish rise for
+// translations/expansions, return-to-start for full rotations).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/drift.h"
+#include "synth/evl.h"
+
+namespace ccs {
+namespace {
+
+constexpr size_t kWindows = 9;
+constexpr size_t kRows = 400;
+
+class EvlDriftTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::vector<double> Series() {
+    Rng rng(std::hash<std::string>{}(GetParam()) | 1ull);
+    auto stream =
+        synth::GenerateEvlStream(GetParam(), kWindows, kRows, &rng);
+    CCS_CHECK(stream.ok()) << stream.status();
+    auto series = core::DriftSeries(*stream);
+    CCS_CHECK(series.ok()) << series.status();
+    return std::move(series).value();
+  }
+};
+
+TEST_P(EvlDriftTest, ReferenceWindowScoresNearZero) {
+  auto series = Series();
+  EXPECT_LT(series[0], 0.03) << GetParam();
+}
+
+TEST_P(EvlDriftTest, DriftIsDetectedSomewhere) {
+  auto series = Series();
+  double peak = *std::max_element(series.begin(), series.end());
+  EXPECT_GT(peak, series[0] + 0.1)
+      << GetParam() << ": the stream drifts but CC never reacted";
+}
+
+TEST_P(EvlDriftTest, SeriesStaysInUnitInterval) {
+  for (double v : Series()) {
+    EXPECT_GE(v, 0.0) << GetParam();
+    EXPECT_LE(v, 1.0) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, EvlDriftTest,
+    ::testing::ValuesIn(synth::EvlDatasetNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// Family-specific trajectory shapes.
+
+class EvlMonotoneTest : public EvlDriftTest {};
+
+TEST_P(EvlMonotoneTest, TranslationDriftGrowsOverall) {
+  auto series = Series();
+  // End of stream must be well above the start, and the second half's
+  // mean above the first half's (monotone up to noise).
+  EXPECT_GT(series.back(), series.front() + 0.1) << GetParam();
+  double first_half = 0.0, second_half = 0.0;
+  size_t half = series.size() / 2;
+  for (size_t i = 0; i < half; ++i) first_half += series[i];
+  for (size_t i = half; i < series.size(); ++i) second_half += series[i];
+  EXPECT_GT(second_half / static_cast<double>(series.size() - half),
+            first_half / static_cast<double>(half))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Translations, EvlMonotoneTest,
+    ::testing::Values("1CDT", "2CDT", "1CHT", "2CHT", "5CVT", "UG-2C-2D",
+                      "UG-2C-3D", "UG-2C-5D", "MG-2C-2D", "FG-2C-2D",
+                      "4CE1CF"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+class EvlCyclicTest : public EvlDriftTest {};
+
+TEST_P(EvlCyclicTest, FullRotationReturnsToStart) {
+  auto series = Series();
+  double peak = *std::max_element(series.begin(), series.end());
+  // Mid-stream drift is large; the final window is back near the start.
+  EXPECT_GT(peak, series.front() + 0.15) << GetParam();
+  EXPECT_LT(series.back(), peak * 0.5) << GetParam();
+}
+
+// 4CRE-V1 is rotation + expansion; the rotation dominates the trajectory
+// (classes return to their start angles at t = 1 with only the modest
+// radius growth left), so it belongs to the cyclic family.
+INSTANTIATE_TEST_SUITE_P(
+    Rotations, EvlCyclicTest,
+    ::testing::Values("4CR", "1CSurr", "GEARS-2C-2D", "4CRE-V1"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ccs

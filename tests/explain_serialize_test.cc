@@ -1,0 +1,277 @@
+// Tests for core/explain (ExTuNe responsibility), core/serialize, and
+// core/kernel (polynomial expansion).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/explain.h"
+#include "core/kernel.h"
+#include "core/serialize.h"
+#include "core/synthesizer.h"
+
+namespace ccs::core {
+namespace {
+
+using dataframe::DataFrame;
+using linalg::Vector;
+
+DataFrame TwoAttrTrend(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n), y(n), z(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-3.0, 3.0);
+    y[i] = x[i] + rng.Gaussian(0.0, 0.05);
+    z[i] = rng.Gaussian(0.0, 1.0);  // Unconstrained attribute.
+  }
+  DataFrame df;
+  CCS_CHECK(df.AddNumericColumn("x", std::move(x)).ok());
+  CCS_CHECK(df.AddNumericColumn("y", std::move(y)).ok());
+  CCS_CHECK(df.AddNumericColumn("z", std::move(z)).ok());
+  return df;
+}
+
+// --------------------------- explain ----------------------------------
+
+TEST(ExplainTest, ConformingTupleHasZeroResponsibilities) {
+  auto explainer = NonConformanceExplainer::FromTrainingData(
+      TwoAttrTrend(400, 1));
+  ASSERT_TRUE(explainer.ok());
+  auto r = explainer->ExplainTuple(Vector{1.0, 1.0, 0.0});
+  ASSERT_TRUE(r.ok());
+  for (const auto& attr : *r) {
+    EXPECT_DOUBLE_EQ(attr.responsibility, 0.0);
+  }
+}
+
+TEST(ExplainTest, CulpritAttributeGetsTopResponsibility) {
+  auto explainer = NonConformanceExplainer::FromTrainingData(
+      TwoAttrTrend(400, 2));
+  ASSERT_TRUE(explainer.ok());
+  // Break the x≈y trend through y: y is way off given x.
+  auto r = explainer->ExplainTuple(Vector{0.0, 50.0, 0.0});
+  ASSERT_TRUE(r.ok());
+  double y_resp = 0.0, z_resp = 0.0;
+  for (const auto& attr : *r) {
+    if (attr.attribute == "y") y_resp = attr.responsibility;
+    if (attr.attribute == "z") z_resp = attr.responsibility;
+  }
+  EXPECT_GT(y_resp, 0.0);
+  EXPECT_GE(y_resp, z_resp);
+}
+
+TEST(ExplainTest, ResponsibilityIsInverseOfAdditionalFixes) {
+  auto explainer = NonConformanceExplainer::FromTrainingData(
+      TwoAttrTrend(400, 3));
+  ASSERT_TRUE(explainer.ok());
+  // Fixing y alone restores conformance, so resp(y) should be 1/(0+1)=1.
+  auto r = explainer->ExplainTuple(Vector{0.0, 50.0, 0.0});
+  ASSERT_TRUE(r.ok());
+  for (const auto& attr : *r) {
+    EXPECT_GE(attr.responsibility, 0.0);
+    EXPECT_LE(attr.responsibility, 1.0);
+    if (attr.attribute == "y") {
+      EXPECT_DOUBLE_EQ(attr.responsibility, 1.0);
+    }
+  }
+}
+
+TEST(ExplainTest, DatasetAggregationAveragesTuples) {
+  auto explainer = NonConformanceExplainer::FromTrainingData(
+      TwoAttrTrend(400, 4));
+  ASSERT_TRUE(explainer.ok());
+  // Serving set: half conforming, half broken through y.
+  Rng rng(5);
+  std::vector<double> x, y, z;
+  for (int i = 0; i < 20; ++i) {
+    double v = rng.Uniform(-2.0, 2.0);
+    x.push_back(v);
+    y.push_back(i % 2 == 0 ? v : v + 100.0);
+    z.push_back(0.0);
+  }
+  DataFrame serving;
+  ASSERT_TRUE(serving.AddNumericColumn("x", std::move(x)).ok());
+  ASSERT_TRUE(serving.AddNumericColumn("y", std::move(y)).ok());
+  ASSERT_TRUE(serving.AddNumericColumn("z", std::move(z)).ok());
+  auto r = explainer->ExplainDataset(serving);
+  ASSERT_TRUE(r.ok());
+  double y_resp = 0.0;
+  for (const auto& attr : *r) {
+    if (attr.attribute == "y") y_resp = attr.responsibility;
+  }
+  // Half the tuples are broken through y (some also need an x fix when
+  // |x| is large, halving their per-tuple responsibility).
+  EXPECT_GT(y_resp, 0.2);
+  EXPECT_LE(y_resp, 0.75);
+}
+
+TEST(ExplainTest, WidthMismatchIsError) {
+  auto explainer = NonConformanceExplainer::FromTrainingData(
+      TwoAttrTrend(100, 6));
+  ASSERT_TRUE(explainer.ok());
+  EXPECT_FALSE(explainer->ExplainTuple(Vector{1.0}).ok());
+}
+
+// --------------------------- serialize --------------------------------
+
+ConformanceConstraint SynthesizeExample(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x, y;
+  std::vector<std::string> g;
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.Uniform(-5.0, 5.0);
+    x.push_back(v);
+    y.push_back(2.0 * v + rng.Gaussian(0.0, 0.1));
+    g.push_back(i % 2 ? "odd" : "even");
+  }
+  DataFrame df;
+  CCS_CHECK(df.AddNumericColumn("x", std::move(x)).ok());
+  CCS_CHECK(df.AddNumericColumn("y", std::move(y)).ok());
+  CCS_CHECK(df.AddCategoricalColumn("g", std::move(g)).ok());
+  Synthesizer synth;
+  auto phi = synth.Synthesize(df);
+  CCS_CHECK(phi.ok());
+  return std::move(phi).value();
+}
+
+TEST(SerializeTest, RoundTripPreservesStructure) {
+  ConformanceConstraint phi = SynthesizeExample(7);
+  std::string text = Serialize(phi);
+  auto back = Deserialize(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->has_global(), phi.has_global());
+  EXPECT_EQ(back->disjunctions().size(), phi.disjunctions().size());
+  EXPECT_EQ(back->global().conjuncts().size(),
+            phi.global().conjuncts().size());
+}
+
+TEST(SerializeTest, RoundTripPreservesSemantics) {
+  ConformanceConstraint phi = SynthesizeExample(8);
+  auto back = Deserialize(Serialize(phi));
+  ASSERT_TRUE(back.ok());
+  Rng rng(9);
+  DataFrame probe;
+  std::vector<double> x, y;
+  std::vector<std::string> g;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(rng.Uniform(-10.0, 10.0));
+    y.push_back(rng.Uniform(-20.0, 20.0));
+    g.push_back(i % 3 == 0 ? "unseen" : (i % 2 ? "odd" : "even"));
+  }
+  ASSERT_TRUE(probe.AddNumericColumn("x", std::move(x)).ok());
+  ASSERT_TRUE(probe.AddNumericColumn("y", std::move(y)).ok());
+  ASSERT_TRUE(probe.AddCategoricalColumn("g", std::move(g)).ok());
+  for (size_t i = 0; i < probe.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(phi.Violation(probe, i).value(),
+                     back->Violation(probe, i).value());
+  }
+}
+
+TEST(SerializeTest, RejectsCorruptedInput) {
+  EXPECT_FALSE(Deserialize("").ok());
+  EXPECT_FALSE(Deserialize("garbage\n").ok());
+  EXPECT_FALSE(Deserialize("ccs-constraint v999\nglobal 0\nend\n").ok());
+  ConformanceConstraint phi = SynthesizeExample(10);
+  std::string text = Serialize(phi);
+  text.resize(text.size() / 2);  // Truncate mid-stream.
+  EXPECT_FALSE(Deserialize(text).ok());
+}
+
+TEST(SerializeTest, PrettyStringMentionsAttributesAndBounds) {
+  ConformanceConstraint phi = SynthesizeExample(11);
+  std::string pretty = ToPrettyString(phi);
+  EXPECT_NE(pretty.find("GLOBAL"), std::string::npos);
+  EXPECT_NE(pretty.find("DISJUNCTION on g"), std::string::npos);
+  EXPECT_NE(pretty.find("<="), std::string::npos);
+  EXPECT_NE(pretty.find("weight="), std::string::npos);
+}
+
+TEST(SerializeTest, SqlCheckHasExpectedShape) {
+  ConformanceConstraint phi = SynthesizeExample(12);
+  std::string sql = ToSqlCheck(phi);
+  EXPECT_NE(sql.find("BETWEEN"), std::string::npos);
+  EXPECT_NE(sql.find("CASE"), std::string::npos);
+  EXPECT_NE(sql.find("ELSE FALSE END"), std::string::npos);
+  EXPECT_NE(sql.find("\"x\""), std::string::npos);
+}
+
+// --------------------------- kernel -----------------------------------
+
+TEST(KernelTest, ExpansionAddsSquaresAndCrossTerms) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("a", {1.0, 2.0}).ok());
+  ASSERT_TRUE(df.AddNumericColumn("b", {3.0, 4.0}).ok());
+  auto expanded = ExpandPolynomial(df);
+  ASSERT_TRUE(expanded.ok());
+  // a, b, a^2, b^2, a*b = 5 numeric columns.
+  EXPECT_EQ(expanded->NumericNames().size(), 5u);
+  EXPECT_DOUBLE_EQ(expanded->NumericValue(1, "a^2").value(), 4.0);
+  EXPECT_DOUBLE_EQ(expanded->NumericValue(1, "a*b").value(), 8.0);
+}
+
+TEST(KernelTest, CategoricalColumnsPassThrough) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("a", {1.0}).ok());
+  ASSERT_TRUE(df.AddCategoricalColumn("g", {"v"}).ok());
+  auto expanded = ExpandPolynomial(df);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->CategoricalValue(0, "g").value(), "v");
+}
+
+TEST(KernelTest, OptionsControlTerms) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("a", {1.0}).ok());
+  ASSERT_TRUE(df.AddNumericColumn("b", {2.0}).ok());
+  PolynomialExpansionOptions options;
+  options.include_squares = false;
+  options.include_cross_terms = true;
+  options.keep_linear = false;
+  auto expanded = ExpandPolynomial(df, options);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->NumericNames(), (std::vector<std::string>{"a*b"}));
+}
+
+TEST(KernelTest, QuadraticConstraintBecomesLearnable) {
+  // Data on the circle x^2 + y^2 = 25 (plus noise): linear synthesis sees
+  // nothing, degree-2 synthesis finds the invariant.
+  Rng rng(13);
+  std::vector<double> x, y;
+  for (int i = 0; i < 400; ++i) {
+    double theta = rng.Uniform(0.0, 6.28318);
+    double r = 5.0 + rng.Gaussian(0.0, 0.02);
+    x.push_back(r * std::cos(theta));
+    y.push_back(r * std::sin(theta));
+  }
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", std::move(x)).ok());
+  ASSERT_TRUE(df.AddNumericColumn("y", std::move(y)).ok());
+  auto expanded = ExpandPolynomial(df);
+  ASSERT_TRUE(expanded.ok());
+  Synthesizer synth;
+  auto constraint = synth.SynthesizeSimple(*expanded);
+  ASSERT_TRUE(constraint.ok());
+
+  // Probe: a point well inside the circle, expanded the same way.
+  DataFrame probe;
+  ASSERT_TRUE(probe.AddNumericColumn("x", {0.5}).ok());
+  ASSERT_TRUE(probe.AddNumericColumn("y", {0.5}).ok());
+  auto probe_expanded = ExpandPolynomial(probe);
+  ASSERT_TRUE(probe_expanded.ok());
+  EXPECT_GT(constraint->Violation(*probe_expanded, 0).value(), 0.3);
+
+  // A point on the circle conforms.
+  DataFrame on_circle;
+  ASSERT_TRUE(on_circle.AddNumericColumn("x", {5.0}).ok());
+  ASSERT_TRUE(on_circle.AddNumericColumn("y", {0.0}).ok());
+  auto on_expanded = ExpandPolynomial(on_circle);
+  ASSERT_TRUE(on_expanded.ok());
+  EXPECT_LT(constraint->Violation(*on_expanded, 0).value(), 0.1);
+}
+
+TEST(KernelTest, NoNumericAttributesIsError) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddCategoricalColumn("g", {"a"}).ok());
+  EXPECT_FALSE(ExpandPolynomial(df).ok());
+}
+
+}  // namespace
+}  // namespace ccs::core

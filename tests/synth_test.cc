@@ -1,0 +1,343 @@
+// Tests for synth/: the workload generators that substitute for the
+// paper's external datasets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "synth/airlines.h"
+#include "synth/evl.h"
+#include "synth/har.h"
+#include "synth/led.h"
+#include "synth/tabular.h"
+
+namespace ccs::synth {
+namespace {
+
+// --------------------------- airlines ---------------------------------
+
+TEST(AirlinesTest, SchemaAndSize) {
+  Rng rng(1);
+  auto df = GenerateFlights(FlightKind::kDaytime, 100, &rng);
+  EXPECT_EQ(df.num_rows(), 100u);
+  for (const char* col : {"dep_time", "arr_time", "duration", "distance",
+                          "delay", "day", "day_of_week"}) {
+    EXPECT_TRUE(df.schema().Contains(col)) << col;
+  }
+  EXPECT_TRUE(df.schema().Contains("month"));
+  EXPECT_TRUE(df.schema().Contains("carrier"));
+}
+
+TEST(AirlinesTest, DaytimeSatisfiesScheduleInvariant) {
+  Rng rng(2);
+  auto df = GenerateFlights(FlightKind::kDaytime, 500, &rng);
+  for (size_t i = 0; i < df.num_rows(); ++i) {
+    double arr = df.NumericValue(i, "arr_time").value();
+    double dep = df.NumericValue(i, "dep_time").value();
+    double dur = df.NumericValue(i, "duration").value();
+    EXPECT_GT(arr, dep) << "daytime flight must land after takeoff";
+    EXPECT_LT(std::abs(arr - dep - dur), 20.0)
+        << "arr - dep must track duration up to noise";
+  }
+}
+
+TEST(AirlinesTest, OvernightBreaksScheduleInvariant) {
+  Rng rng(3);
+  auto df = GenerateFlights(FlightKind::kOvernight, 500, &rng);
+  size_t wrapped = 0;
+  for (size_t i = 0; i < df.num_rows(); ++i) {
+    double arr = df.NumericValue(i, "arr_time").value();
+    double dep = df.NumericValue(i, "dep_time").value();
+    if (arr < dep) ++wrapped;
+  }
+  EXPECT_GT(wrapped, 450u) << "almost all overnight flights wrap midnight";
+}
+
+TEST(AirlinesTest, DurationTracksDistance) {
+  Rng rng(4);
+  auto df = GenerateFlights(FlightKind::kDaytime, 500, &rng);
+  for (size_t i = 0; i < df.num_rows(); ++i) {
+    double dur = df.NumericValue(i, "duration").value();
+    double dist = df.NumericValue(i, "distance").value();
+    EXPECT_LT(std::abs(dur - 0.12 * dist), 40.0);
+  }
+}
+
+TEST(AirlinesTest, BenchmarkSplitsHaveRequestedSizes) {
+  Rng rng(5);
+  auto bench = MakeAirlinesBenchmark(1000, 400, &rng);
+  ASSERT_TRUE(bench.ok());
+  EXPECT_EQ(bench->train.num_rows(), 1000u);
+  EXPECT_EQ(bench->daytime.num_rows(), 400u);
+  EXPECT_EQ(bench->overnight.num_rows(), 400u);
+  EXPECT_EQ(bench->mixed.num_rows(), 400u);
+}
+
+// --------------------------- HAR ---------------------------------------
+
+TEST(HarTest, SchemaAndRowCount) {
+  Rng rng(6);
+  auto df = GenerateHar(HarPersons(3), SedentaryActivities(), 50, &rng);
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 3u * 3u * 50u);
+  EXPECT_EQ(df->NumericNames().size(), 36u);
+  EXPECT_TRUE(df->schema().Contains("person"));
+  EXPECT_TRUE(df->schema().Contains("activity"));
+}
+
+TEST(HarTest, ActivityListsAreDisjoint) {
+  auto sed = SedentaryActivities();
+  auto mob = MobileActivities();
+  std::set<std::string> all(sed.begin(), sed.end());
+  for (const auto& a : mob) {
+    EXPECT_FALSE(all.count(a)) << a;
+  }
+  EXPECT_EQ(AllActivities().size(), sed.size() + mob.size());
+}
+
+TEST(HarTest, MobileActivitiesHaveLargerSignal) {
+  Rng rng(7);
+  auto sed = GenerateHar(HarPersons(2), {"lying"}, 200, &rng);
+  auto mob = GenerateHar(HarPersons(2), {"running"}, 200, &rng);
+  ASSERT_TRUE(sed.ok());
+  ASSERT_TRUE(mob.ok());
+  double sed_energy = 0.0, mob_energy = 0.0;
+  for (size_t i = 0; i < sed->num_rows(); ++i) {
+    sed_energy += sed->NumericRow(i).Norm();
+    mob_energy += mob->NumericRow(i).Norm();
+  }
+  EXPECT_GT(mob_energy, 2.0 * sed_energy);
+}
+
+TEST(HarTest, SignaturesAreStableAcrossDraws) {
+  Rng rng1(8), rng2(9);  // Different noise seeds.
+  auto a = GenerateHar({"p1"}, {"sitting"}, 300, &rng1);
+  auto b = GenerateHar({"p1"}, {"sitting"}, 300, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Means of each sensor agree across draws (same signature).
+  for (size_t j = 0; j < 36; j += 7) {
+    std::string name = "s" + std::to_string(j);
+    auto col_a = a->ColumnByName(name).value()->ToVector();
+    auto col_b = b->ColumnByName(name).value()->ToVector();
+    EXPECT_NEAR(col_a.Mean(), col_b.Mean(), 0.1) << name;
+  }
+}
+
+TEST(HarTest, DifferentPersonsDiffer) {
+  Rng rng(10);
+  auto df = GenerateHar(HarPersons(2), {"standing"}, 300, &rng);
+  ASSERT_TRUE(df.ok());
+  auto parts = df->PartitionBy("person");
+  ASSERT_TRUE(parts.ok());
+  // At least one sensor's mean must differ noticeably between persons.
+  double max_gap = 0.0;
+  for (size_t j = 0; j < 36; ++j) {
+    std::string name = "s" + std::to_string(j);
+    double m1 = parts->at("p1").ColumnByName(name).value()->ToVector().Mean();
+    double m2 = parts->at("p2").ColumnByName(name).value()->ToVector().Mean();
+    max_gap = std::max(max_gap, std::abs(m1 - m2));
+  }
+  EXPECT_GT(max_gap, 0.2);
+}
+
+TEST(HarTest, EmptyInputsAreErrors) {
+  Rng rng(11);
+  EXPECT_FALSE(GenerateHar({}, {"lying"}, 10, &rng).ok());
+  EXPECT_FALSE(GenerateHar({"p1"}, {}, 10, &rng).ok());
+  EXPECT_FALSE(GenerateHar({"p1"}, {"lying"}, 0, &rng).ok());
+}
+
+// --------------------------- EVL ---------------------------------------
+
+TEST(EvlTest, AllSixteenDatasetsRegistered) {
+  EXPECT_EQ(EvlDatasetNames().size(), 16u);
+  for (const auto& name : EvlDatasetNames()) {
+    EXPECT_TRUE(IsEvlDataset(name)) << name;
+  }
+  EXPECT_FALSE(IsEvlDataset("NOT-A-DATASET"));
+}
+
+TEST(EvlTest, WindowShapes) {
+  Rng rng(12);
+  for (const auto& name : EvlDatasetNames()) {
+    auto window = GenerateEvlWindow(name, 0.0, 60, &rng);
+    ASSERT_TRUE(window.ok()) << name;
+    EXPECT_EQ(window->num_rows(), 60u) << name;
+    EXPECT_TRUE(window->schema().Contains("class")) << name;
+    EXPECT_GE(window->NumericNames().size(), 2u) << name;
+  }
+}
+
+TEST(EvlTest, DimensionalityVariants) {
+  Rng rng(13);
+  EXPECT_EQ(GenerateEvlWindow("UG-2C-2D", 0.0, 10, &rng)->NumericNames().size(),
+            2u);
+  EXPECT_EQ(GenerateEvlWindow("UG-2C-3D", 0.0, 10, &rng)->NumericNames().size(),
+            3u);
+  EXPECT_EQ(GenerateEvlWindow("UG-2C-5D", 0.0, 10, &rng)->NumericNames().size(),
+            5u);
+}
+
+TEST(EvlTest, TranslationDatasetActuallyMoves) {
+  Rng rng(14);
+  auto start = GenerateEvlWindow("1CDT", 0.0, 400, &rng);
+  auto end = GenerateEvlWindow("1CDT", 1.0, 400, &rng);
+  ASSERT_TRUE(start.ok());
+  ASSERT_TRUE(end.ok());
+  auto c2_start = start->Filter([&](size_t i) {
+    return start->CategoricalValue(i, "class").value() == "c2";
+  });
+  auto c2_end = end->Filter([&](size_t i) {
+    return end->CategoricalValue(i, "class").value() == "c2";
+  });
+  double mean_start = c2_start.ColumnByName("x0").value()->ToVector().Mean();
+  double mean_end = c2_end.ColumnByName("x0").value()->ToVector().Mean();
+  EXPECT_GT(mean_end - mean_start, 4.0);
+}
+
+TEST(EvlTest, RotationDatasetReturnsToStart) {
+  Rng rng(15);
+  auto t0 = GenerateEvlWindow("4CR", 0.0, 800, &rng);
+  auto t1 = GenerateEvlWindow("4CR", 1.0, 800, &rng);
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  // After a full rotation every class is back at its starting position.
+  for (const char* cls : {"c1", "c3"}) {
+    auto f0 = t0->Filter([&](size_t i) {
+      return t0->CategoricalValue(i, "class").value() == cls;
+    });
+    auto f1 = t1->Filter([&](size_t i) {
+      return t1->CategoricalValue(i, "class").value() == cls;
+    });
+    EXPECT_NEAR(f0.ColumnByName("x0").value()->ToVector().Mean(),
+                f1.ColumnByName("x0").value()->ToVector().Mean(), 0.3)
+        << cls;
+  }
+}
+
+TEST(EvlTest, StreamHasRequestedWindows) {
+  Rng rng(16);
+  auto stream = GenerateEvlStream("2CDT", 12, 50, &rng);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->size(), 12u);
+  for (const auto& w : *stream) EXPECT_EQ(w.num_rows(), 50u);
+}
+
+TEST(EvlTest, Errors) {
+  Rng rng(17);
+  EXPECT_FALSE(GenerateEvlWindow("bogus", 0.0, 10, &rng).ok());
+  EXPECT_FALSE(GenerateEvlWindow("1CDT", 1.5, 10, &rng).ok());
+  EXPECT_FALSE(GenerateEvlStream("1CDT", 1, 10, &rng).ok());
+}
+
+// --------------------------- LED ---------------------------------------
+
+TEST(LedTest, SchemaAndWindowCount) {
+  Rng rng(18);
+  auto stream = GenerateLedStream(6, 100, DefaultLedSchedule(), &rng);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->size(), 6u);
+  const auto& w = (*stream)[0];
+  EXPECT_EQ(w.num_rows(), 100u);
+  EXPECT_TRUE(w.schema().Contains("led1"));
+  EXPECT_TRUE(w.schema().Contains("led7"));
+  EXPECT_TRUE(w.schema().Contains("irr17"));
+  EXPECT_TRUE(w.schema().Contains("digit"));
+}
+
+TEST(LedTest, ValuesAreBinary) {
+  Rng rng(19);
+  auto stream = GenerateLedStream(2, 200, {}, &rng);
+  ASSERT_TRUE(stream.ok());
+  for (const auto& name : (*stream)[0].NumericNames()) {
+    auto col = (*stream)[0].ColumnByName(name).value()->ToVector();
+    for (double v : col.data()) {
+      EXPECT_TRUE(v == 0.0 || v == 1.0) << name;
+    }
+  }
+}
+
+TEST(LedTest, MalfunctioningSegmentIsStuckAtZero) {
+  Rng rng(20);
+  std::vector<LedDriftPhase> schedule = {{1, 2, {4, 5}}};
+  auto stream = GenerateLedStream(2, 300, schedule, &rng);
+  ASSERT_TRUE(stream.ok());
+  // Window 0: led4 fires for many digits. Window 1: always 0.
+  auto w0_led4 = (*stream)[0].ColumnByName("led4").value()->ToVector();
+  auto w1_led4 = (*stream)[1].ColumnByName("led4").value()->ToVector();
+  EXPECT_GT(w0_led4.Sum(), 50.0);
+  EXPECT_DOUBLE_EQ(w1_led4.Sum(), 0.0);
+}
+
+TEST(LedTest, DigitDistributionCoversAll) {
+  Rng rng(21);
+  auto stream = GenerateLedStream(1, 500, {}, &rng);
+  ASSERT_TRUE(stream.ok());
+  auto digits = (*stream)[0].ColumnByName("digit").value()->DistinctValues();
+  EXPECT_EQ(digits.size(), 10u);
+}
+
+// --------------------------- tabular ------------------------------------
+
+TEST(TabularTest, CardioDiseaseElevatesBloodPressure) {
+  Rng rng(22);
+  auto healthy = GenerateCardio(800, false, &rng);
+  auto sick = GenerateCardio(800, true, &rng);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(sick.ok());
+  double h = healthy->ColumnByName("ap_hi").value()->ToVector().Mean();
+  double s = sick->ColumnByName("ap_hi").value()->ToVector().Mean();
+  EXPECT_GT(s - h, 15.0);
+}
+
+TEST(TabularTest, MobileRamDominatesPriceGap) {
+  Rng rng(23);
+  auto cheap = GenerateMobile(800, false, &rng);
+  auto pricey = GenerateMobile(800, true, &rng);
+  ASSERT_TRUE(cheap.ok());
+  ASSERT_TRUE(pricey.ok());
+  // Standardized gap of RAM exceeds that of any other attribute.
+  double best_other = 0.0, ram_gap = 0.0;
+  for (const auto& name : cheap->NumericNames()) {
+    auto a = cheap->ColumnByName(name).value()->ToVector();
+    auto b = pricey->ColumnByName(name).value()->ToVector();
+    double pooled_sd = (a.StdDev() + b.StdDev()) / 2.0 + 1e-9;
+    double gap = std::abs(b.Mean() - a.Mean()) / pooled_sd;
+    if (name == "ram") {
+      ram_gap = gap;
+    } else {
+      best_other = std::max(best_other, gap);
+    }
+  }
+  EXPECT_GT(ram_gap, best_other);
+}
+
+TEST(TabularTest, HousePriceShiftIsHolistic) {
+  Rng rng(24);
+  auto modest = GenerateHouse(800, false, &rng);
+  auto fancy = GenerateHouse(800, true, &rng);
+  ASSERT_TRUE(modest.ok());
+  ASSERT_TRUE(fancy.ok());
+  // Many attributes shift by a noticeable standardized amount.
+  size_t shifted = 0;
+  for (const auto& name : modest->NumericNames()) {
+    auto a = modest->ColumnByName(name).value()->ToVector();
+    auto b = fancy->ColumnByName(name).value()->ToVector();
+    double pooled_sd = (a.StdDev() + b.StdDev()) / 2.0 + 1e-9;
+    if (std::abs(b.Mean() - a.Mean()) / pooled_sd > 0.5) ++shifted;
+  }
+  EXPECT_GE(shifted, 8u);
+}
+
+TEST(TabularTest, ZeroRowsIsError) {
+  Rng rng(25);
+  EXPECT_FALSE(GenerateCardio(0, false, &rng).ok());
+  EXPECT_FALSE(GenerateMobile(0, false, &rng).ok());
+  EXPECT_FALSE(GenerateHouse(0, false, &rng).ok());
+}
+
+}  // namespace
+}  // namespace ccs::synth

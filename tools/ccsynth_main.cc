@@ -1,0 +1,210 @@
+// ccsynth — command-line front end for the conformance-constraint library.
+//
+// Subcommands:
+//   ccsynth learn   <train.csv> [-o constraints.ccs] [--no-disjunctive]
+//                   [--bound-multiplier C] [--sql] [--pretty]
+//       Discover constraints from a CSV and write them to disk.
+//   ccsynth check   <constraints.ccs> <serving.csv> [--threshold T]
+//       Score every serving tuple; print per-tuple violations and the
+//       unsafe fraction (exit code 2 if any tuple exceeds the threshold).
+//   ccsynth drift   <reference.csv> <window.csv> [<window.csv> ...]
+//       Quantify drift of each window against the reference.
+//   ccsynth explain <train.csv> <serving.csv>
+//       Per-attribute responsibility for serving non-conformance.
+//   ccsynth diff    <a.csv> <b.csv>
+//       Dataset diff report (asymmetric violations, partitions, blame).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/datadiff.h"
+#include "core/drift.h"
+#include "core/explain.h"
+#include "core/serialize.h"
+#include "core/synthesizer.h"
+#include "dataframe/csv.h"
+
+namespace {
+
+using namespace ccs;  // NOLINT
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "ccsynth: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ccsynth <learn|check|drift|explain|diff> ...\n"
+               "  learn   <train.csv> [-o out.ccs] [--no-disjunctive]\n"
+               "          [--bound-multiplier C] [--sql] [--pretty]\n"
+               "  check   <constraints.ccs> <serving.csv> [--threshold T]\n"
+               "  drift   <reference.csv> <window.csv>...\n"
+               "  explain <train.csv> <serving.csv>\n"
+               "  diff    <a.csv> <b.csv>\n");
+  return 1;
+}
+
+StatusOr<dataframe::DataFrame> Load(const std::string& path) {
+  return dataframe::ReadCsvFile(path);
+}
+
+int RunLearn(const std::vector<std::string>& args) {
+  std::string train_path, out_path;
+  bool emit_sql = false, emit_pretty = false;
+  core::SynthesisOptions options;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--no-disjunctive") {
+      options.include_disjunctive = false;
+    } else if (args[i] == "--bound-multiplier" && i + 1 < args.size()) {
+      auto c = ParseDouble(args[++i]);
+      if (!c.has_value() || *c <= 0.0) {
+        return Fail(Status::InvalidArgument("bad --bound-multiplier"));
+      }
+      options.bound_multiplier = *c;
+    } else if (args[i] == "--sql") {
+      emit_sql = true;
+    } else if (args[i] == "--pretty") {
+      emit_pretty = true;
+    } else if (train_path.empty()) {
+      train_path = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (train_path.empty()) return Usage();
+
+  auto df = Load(train_path);
+  if (!df.ok()) return Fail(df.status());
+  core::Synthesizer synthesizer(options);
+  auto phi = synthesizer.Synthesize(*df);
+  if (!phi.ok()) return Fail(phi.status());
+
+  if (emit_pretty || (out_path.empty() && !emit_sql)) {
+    std::printf("%s", core::ToPrettyString(*phi).c_str());
+  }
+  if (emit_sql) {
+    std::printf("%s\n", core::ToSqlCheck(*phi).c_str());
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) return Fail(Status::IoError("cannot write " + out_path));
+    out << core::Serialize(*phi);
+    std::fprintf(stderr, "ccsynth: wrote %s (%zu rows, %zu groups)\n",
+                 out_path.c_str(), df->num_rows(), phi->num_groups());
+  }
+  return 0;
+}
+
+int RunCheck(const std::vector<std::string>& args) {
+  std::string constraint_path, serving_path;
+  double threshold = 0.05;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold" && i + 1 < args.size()) {
+      auto t = ParseDouble(args[++i]);
+      if (!t.has_value()) {
+        return Fail(Status::InvalidArgument("bad --threshold"));
+      }
+      threshold = *t;
+    } else if (constraint_path.empty()) {
+      constraint_path = args[i];
+    } else if (serving_path.empty()) {
+      serving_path = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (serving_path.empty()) return Usage();
+
+  std::ifstream in(constraint_path);
+  if (!in) return Fail(Status::IoError("cannot read " + constraint_path));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto phi = core::Deserialize(buffer.str());
+  if (!phi.ok()) return Fail(phi.status());
+
+  auto serving = Load(serving_path);
+  if (!serving.ok()) return Fail(serving.status());
+  auto violations = phi->ViolationAll(*serving);
+  if (!violations.ok()) return Fail(violations.status());
+
+  size_t unsafe = 0;
+  for (size_t i = 0; i < violations->size(); ++i) {
+    bool flagged = (*violations)[i] > threshold;
+    if (flagged) ++unsafe;
+    std::printf("%zu\t%.6f\t%s\n", i, (*violations)[i],
+                flagged ? "UNSAFE" : "ok");
+  }
+  std::fprintf(stderr,
+               "ccsynth: %zu / %zu tuples unsafe (threshold %.3f), mean "
+               "violation %.6f\n",
+               unsafe, violations->size(), threshold, violations->Mean());
+  return unsafe > 0 ? 2 : 0;
+}
+
+int RunDrift(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto reference = Load(args[0]);
+  if (!reference.ok()) return Fail(reference.status());
+  core::ConformanceDriftQuantifier quantifier;
+  Status fitted = quantifier.Fit(*reference);
+  if (!fitted.ok()) return Fail(fitted);
+  std::printf("%-32s %s\n", "window", "drift");
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto window = Load(args[i]);
+    if (!window.ok()) return Fail(window.status());
+    auto score = quantifier.Score(*window);
+    if (!score.ok()) return Fail(score.status());
+    std::printf("%-32s %.6f\n", args[i].c_str(), *score);
+  }
+  return 0;
+}
+
+int RunExplain(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  auto train = Load(args[0]);
+  if (!train.ok()) return Fail(train.status());
+  auto serving = Load(args[1]);
+  if (!serving.ok()) return Fail(serving.status());
+  auto explainer = core::NonConformanceExplainer::FromTrainingData(*train);
+  if (!explainer.ok()) return Fail(explainer.status());
+  auto responsibilities = explainer->ExplainDataset(*serving);
+  if (!responsibilities.ok()) return Fail(responsibilities.status());
+  for (const auto& r : *responsibilities) {
+    std::printf("%-24s %.4f\n", r.attribute.c_str(), r.responsibility);
+  }
+  return 0;
+}
+
+int RunDiff(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  auto a = Load(args[0]);
+  if (!a.ok()) return Fail(a.status());
+  auto b = Load(args[1]);
+  if (!b.ok()) return Fail(b.status());
+  auto diff = core::DiffDatasets(*a, *b);
+  if (!diff.ok()) return Fail(diff.status());
+  std::printf("%s", diff->ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "learn") return RunLearn(args);
+  if (command == "check") return RunCheck(args);
+  if (command == "drift") return RunDrift(args);
+  if (command == "explain") return RunExplain(args);
+  if (command == "diff") return RunDiff(args);
+  return Usage();
+}
