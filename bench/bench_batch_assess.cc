@@ -1,0 +1,108 @@
+// Batched assessment throughput: rows/sec for SafetyEnvelope::AssessAll
+// through the chunk-parallel matrix kernel at 1, 2, and N threads,
+// against the per-row Assess baseline. Seeds the BENCH trajectory for
+// the serving-side hot path; violation values are checked identical
+// across all paths before any number is reported.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "core/tml.h"
+#include "dataframe/dataframe.h"
+#include "synth/har.h"
+
+namespace {
+
+using namespace ccs;  // NOLINT
+
+double Seconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+// Best-of-k wall time, so one scheduler hiccup does not skew a lane.
+double BestSeconds(const std::function<void()>& fn, int reps = 3) {
+  double best = Seconds(fn);
+  for (int r = 1; r < reps; ++r) best = std::min(best, Seconds(fn));
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Batched assessment throughput (SafetyEnvelope::AssessAll)\n"
+      "HAR workload: 36 sensors + person/activity partitions");
+
+  Rng rng(42);
+  auto persons = synth::HarPersons(4);
+  auto activities = synth::AllActivities();
+
+  auto training = synth::GenerateHar(persons, activities, 500, &rng);
+  bench::CheckOk(training.status());
+  auto envelope = core::SafetyEnvelope::Fit(*training, {});
+  bench::CheckOk(envelope.status());
+
+  // 4 persons x 5 activities x 2500 rows = 50k serving tuples.
+  auto serving = synth::GenerateHar(persons, activities, 2500, &rng);
+  bench::CheckOk(serving.status());
+  const size_t rows = serving->num_rows();
+
+  // Per-row baseline: the pre-batching loop (simplify + align each row).
+  std::vector<core::TrustAssessment> baseline(rows);
+  double baseline_sec = BestSeconds([&] {
+    for (size_t i = 0; i < rows; ++i) {
+      auto a = envelope->Assess(*serving, i);
+      bench::CheckOk(a.status());
+      baseline[i] = *a;
+    }
+  });
+
+  size_t hardware = common::DefaultThreadCount();
+  std::vector<size_t> lanes = {1, 2, hardware};
+  std::sort(lanes.begin(), lanes.end());
+  lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+
+  std::printf("\n%-28s%12s%14s%10s\n", "path", "rows/sec", "wall (ms)",
+              "speedup");
+  std::printf("%-28s%12.0f%14.2f%10s\n", "per-row Assess",
+              static_cast<double>(rows) / baseline_sec, baseline_sec * 1e3,
+              "1.00x");
+
+  for (size_t t : lanes) {
+    common::SetDefaultThreadCount(t);
+    std::vector<core::TrustAssessment> batched;
+    double sec = BestSeconds([&] {
+      auto all = envelope->AssessAll(*serving);
+      bench::CheckOk(all.status());
+      batched = std::move(*all);
+    });
+    // Identical results, not just close: the batched kernel preserves
+    // the per-row floating-point evaluation order.
+    for (size_t i = 0; i < rows; ++i) {
+      CCS_CHECK(batched[i].violation == baseline[i].violation)
+          << "batched/per-row mismatch at row " << i << " with " << t
+          << " thread(s)";
+    }
+    std::string label =
+        "AssessAll, " + std::to_string(t) + (t == 1 ? " thread" : " threads");
+    std::printf("%-28s%12.0f%14.2f%9.2fx\n", label.c_str(),
+                static_cast<double>(rows) / sec, sec * 1e3,
+                baseline_sec / sec);
+  }
+  common::SetDefaultThreadCount(0);
+
+  std::printf("\n(%zu hardware threads; violations identical across paths)\n",
+              hardware);
+  return 0;
+}

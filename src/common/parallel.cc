@@ -1,0 +1,151 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace ccs::common {
+
+namespace {
+
+std::atomic<size_t> g_default_thread_count{0};  // 0 = hardware default.
+
+size_t HardwareThreads() {
+  size_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+size_t DefaultThreadCount() {
+  size_t n = g_default_thread_count.load(std::memory_order_relaxed);
+  return n == 0 ? HardwareThreads() : n;
+}
+
+void SetDefaultThreadCount(size_t n) {
+  g_default_thread_count.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CCS_CHECK(!shutdown_) << "Submit on shut-down ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+ThreadPool& ThreadPool::Shared() {
+  // One lane fewer than the hardware offers: the ParallelFor caller
+  // always executes chunks too.
+  static ThreadPool* pool = new ThreadPool(
+      HardwareThreads() > 1 ? HardwareThreads() - 1 : 1);
+  return *pool;
+}
+
+namespace {
+
+// Per-call state shared between the caller and its helper tasks. Chunks
+// are claimed via an atomic cursor so fast lanes take more work.
+struct ForState {
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  size_t n = 0;
+  size_t chunk = 0;
+  std::atomic<size_t> next{0};
+  size_t total_chunks = 0;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t chunks_done = 0;
+};
+
+void DrainChunks(ForState* state) {
+  for (;;) {
+    size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state->total_chunks) return;
+    size_t begin = c * state->chunk;
+    size_t end = std::min(state->n, begin + state->chunk);
+    (*state->fn)(begin, end);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->chunks_done;
+    }
+    state->done_cv.notify_one();
+  }
+}
+
+}  // namespace
+
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
+                 const ParallelOptions& options) {
+  if (n == 0) return;
+  size_t lanes =
+      options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;
+  // Serial fast paths: tiny ranges, explicit single-threading, or nested
+  // use from inside a pool worker (where blocking on the pool could
+  // starve the outer dispatch).
+  if (lanes <= 1 || n <= options.min_chunk || ThreadPool::InWorker()) {
+    fn(0, n);
+    return;
+  }
+
+  // Shared ownership: a helper task that only starts after every chunk
+  // has been claimed must still be able to read the cursor safely after
+  // the caller has returned.
+  auto state = std::make_shared<ForState>();
+  state->fn = &fn;
+  state->n = n;
+  size_t max_chunks = (n + options.min_chunk - 1) / options.min_chunk;
+  // ~4 chunks per lane keeps lanes busy despite uneven chunk costs.
+  size_t target_chunks = std::min(max_chunks, lanes * 4);
+  state->chunk = (n + target_chunks - 1) / target_chunks;
+  state->total_chunks = (n + state->chunk - 1) / state->chunk;
+
+  size_t helpers = std::min(lanes - 1, state->total_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    ThreadPool::Shared().Submit([state] { DrainChunks(state.get()); });
+  }
+  DrainChunks(state.get());
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(
+      lock, [&s = *state] { return s.chunks_done == s.total_chunks; });
+}
+
+}  // namespace ccs::common

@@ -1,0 +1,84 @@
+// Chunked data-parallel dispatch over a shared worker pool.
+//
+// ParallelFor splits an index range into contiguous chunks and runs them
+// on a process-wide thread pool; the calling thread participates, so a
+// pool of k workers yields k+1-way parallelism. Nested calls (a worker
+// invoking ParallelFor) degrade to serial execution instead of
+// deadlocking, which lets outer loops (e.g. scoring many stream windows)
+// parallelize coarsely while inner batched kernels stay correct.
+
+#ifndef CCS_COMMON_PARALLEL_H_
+#define CCS_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccs::common {
+
+/// Number of threads ParallelFor uses when options leave it unset (0):
+/// initially std::thread::hardware_concurrency(), overridable below.
+size_t DefaultThreadCount();
+
+/// Overrides DefaultThreadCount(); `n` = 0 restores the hardware default.
+/// Benchmarks use this to sweep 1, 2, N threads over the same code path.
+void SetDefaultThreadCount(size_t n);
+
+/// A fixed-size pool of worker threads executing submitted closures.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// True when called from inside one of this process's pool workers.
+  static bool InWorker();
+
+  /// The process-wide pool, created on first use with
+  /// hardware_concurrency() - 1 workers (the caller is the extra lane).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Tuning knobs for ParallelFor.
+struct ParallelOptions {
+  /// Number of parallel lanes; 0 means DefaultThreadCount().
+  size_t num_threads = 0;
+  /// Ranges of at most this many indices run serially on the caller.
+  /// Larger ranges are split into at most ceil(n / min_chunk) chunks,
+  /// so per-chunk dispatch overhead stays amortized over roughly this
+  /// many indices (the last chunk, or an n just above the threshold,
+  /// can be smaller).
+  size_t min_chunk = 2048;
+};
+
+/// Invokes `fn(begin, end)` over disjoint chunks exactly covering
+/// [0, n). Chunks may run concurrently; `fn` must be safe to call from
+/// multiple threads as long as the index ranges are disjoint. Blocks
+/// until every chunk has completed.
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
+                 const ParallelOptions& options = ParallelOptions());
+
+}  // namespace ccs::common
+
+#endif  // CCS_COMMON_PARALLEL_H_

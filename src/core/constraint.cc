@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/parallel.h"
 
 namespace ccs::core {
 
@@ -79,6 +83,31 @@ double SimpleConstraint::ViolationAligned(
   return std::clamp(acc, 0.0, 1.0);
 }
 
+linalg::Vector SimpleConstraint::ViolationAllAligned(
+    const linalg::Matrix& data) const {
+  linalg::Vector out(data.rows());
+  if (conjuncts_.empty() || data.rows() == 0) return out;
+  // Column k holds conjunct k's projection, so one data * coef product
+  // evaluates every projection on every row.
+  linalg::Matrix coef(names_.size(), conjuncts_.size());
+  for (size_t k = 0; k < conjuncts_.size(); ++k) {
+    const linalg::Vector& c = conjuncts_[k].projection().coefficients();
+    for (size_t j = 0; j < c.size(); ++j) coef.At(j, k) = c[j];
+  }
+  common::ParallelFor(data.rows(), [&](size_t begin, size_t end) {
+    linalg::Matrix values = data.MultiplyRowRange(begin, end, coef);
+    for (size_t i = begin; i < end; ++i) {
+      double acc = 0.0;
+      for (size_t k = 0; k < conjuncts_.size(); ++k) {
+        acc += conjuncts_[k].importance() *
+               conjuncts_[k].ViolationOfValue(values.At(i - begin, k));
+      }
+      out[i] = std::clamp(acc, 0.0, 1.0);
+    }
+  });
+  return out;
+}
+
 StatusOr<double> SimpleConstraint::Violation(const dataframe::DataFrame& df,
                                              size_t row) const {
   if (row >= df.num_rows()) {
@@ -94,11 +123,7 @@ StatusOr<double> SimpleConstraint::Violation(const dataframe::DataFrame& df,
 StatusOr<linalg::Vector> SimpleConstraint::ViolationAll(
     const dataframe::DataFrame& df) const {
   CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names_));
-  linalg::Vector out(df.num_rows());
-  for (size_t i = 0; i < data.rows(); ++i) {
-    out[i] = ViolationAligned(data.Row(i));
-  }
-  return out;
+  return ViolationAllAligned(data);
 }
 
 StatusOr<const SimpleConstraint*> DisjunctiveConstraint::Simplify(
@@ -142,29 +167,23 @@ StatusOr<linalg::Vector> DisjunctiveConstraint::ViolationAll(
   linalg::Vector out(df.num_rows(), 1.0);
   if (cases_.empty() || df.num_rows() == 0) return out;
 
-  // Fast path: all cases share one attribute order, so the numeric matrix
-  // can be materialized once (this is always the case for synthesized
-  // constraints — partitions share the schema's numeric attributes).
-  const std::vector<std::string>& names =
-      cases_.begin()->second.attribute_names();
-  bool shared = true;
-  for (const auto& [value, c] : cases_) {
-    if (c.attribute_names() != names) {
-      shared = false;
-      break;
-    }
-  }
-  if (shared) {
-    CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names));
-    for (size_t i = 0; i < df.num_rows(); ++i) {
-      auto it = cases_.find(col->CategoricalAt(i));
-      if (it == cases_.end()) continue;
-      out[i] = it->second.ViolationAligned(data.Row(i));
-    }
-    return out;
-  }
+  // Group rows by switch value in one pass (one case lookup per row),
+  // then materialize one aligned matrix per case and score the whole
+  // group through the batched kernel. Mixed attribute orders across
+  // cases cost nothing extra — each group aligns independently, instead
+  // of re-simplifying and re-aligning per row.
+  std::map<const SimpleConstraint*, std::vector<size_t>> groups;
   for (size_t i = 0; i < df.num_rows(); ++i) {
-    CCS_ASSIGN_OR_RETURN(out[i], Violation(df, i));
+    auto it = cases_.find(col->CategoricalAt(i));
+    if (it == cases_.end()) continue;
+    groups[&it->second].push_back(i);
+  }
+  for (const auto& [constraint, rows] : groups) {
+    CCS_ASSIGN_OR_RETURN(
+        linalg::Matrix data,
+        df.NumericMatrixFor(constraint->attribute_names(), rows));
+    linalg::Vector violations = constraint->ViolationAllAligned(data);
+    for (size_t g = 0; g < rows.size(); ++g) out[rows[g]] = violations[g];
   }
   return out;
 }
@@ -204,7 +223,9 @@ StatusOr<linalg::Vector> ConformanceConstraint::ViolationAll(
     CCS_ASSIGN_OR_RETURN(linalg::Vector v, d.ViolationAll(df));
     acc.Axpy(1.0, v);
   }
-  acc.Scale(1.0 / static_cast<double>(groups));
+  // Divide (not multiply by the reciprocal): Violation() computes
+  // acc / groups, and the two paths must agree bit for bit.
+  for (double& v : acc.data()) v /= static_cast<double>(groups);
   return acc;
 }
 

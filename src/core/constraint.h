@@ -88,6 +88,12 @@ class SimpleConstraint {
   /// Quantitative semantics: gamma-weighted sum of conjunct violations.
   double ViolationAligned(const linalg::Vector& numeric_tuple) const;
 
+  /// Violations of every row of an aligned data matrix (columns in
+  /// attribute_names() order). All conjunct projections are evaluated as
+  /// one chunk-parallel matrix-matrix product; results are bitwise
+  /// identical to calling ViolationAligned row by row.
+  linalg::Vector ViolationAllAligned(const linalg::Matrix& data) const;
+
   /// Violation of row `row` of `df` (attributes located by name).
   StatusOr<double> Violation(const dataframe::DataFrame& df,
                              size_t row) const;

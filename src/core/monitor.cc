@@ -1,5 +1,7 @@
 #include "core/monitor.h"
 
+#include "common/parallel.h"
+
 namespace ccs::core {
 
 IncrementalSynthesizer::IncrementalSynthesizer(
@@ -55,6 +57,37 @@ StatusOr<WindowScore> StreamMonitor::ObserveWindow(
   score.alarm = drift > alarm_threshold_;
   history_.push_back(score);
   return score;
+}
+
+StatusOr<std::vector<WindowScore>> StreamMonitor::ObserveWindows(
+    const std::vector<dataframe::DataFrame>& windows) {
+  // Score in parallel into a scratch buffer, then commit to the history
+  // in arrival order only if every window succeeded (all-or-nothing, so
+  // a failure cannot leave a partially advanced history).
+  std::vector<StatusOr<double>> drifts(windows.size(),
+                                       Status::Internal("window not scored"));
+  common::ParallelFor(
+      windows.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          drifts[i] = quantifier_.Score(windows[i]);
+        }
+      },
+      common::ParallelOptions{/*num_threads=*/0, /*min_chunk=*/1});
+  std::vector<WindowScore> out;
+  out.reserve(windows.size());
+  for (StatusOr<double>& drift : drifts) {
+    if (!drift.ok()) return std::move(drift).status();
+  }
+  for (size_t i = 0; i < windows.size(); ++i) {
+    WindowScore score;
+    score.window_index = history_.size();
+    score.drift = drifts[i].value();
+    score.alarm = score.drift > alarm_threshold_;
+    history_.push_back(score);
+    out.push_back(score);
+  }
+  return out;
 }
 
 }  // namespace ccs::core

@@ -69,6 +69,15 @@ class StreamMonitor {
   /// Scores the next window.
   StatusOr<WindowScore> ObserveWindow(const dataframe::DataFrame& window);
 
+  /// Scores a batch of windows concurrently (the reference profile is
+  /// fixed after Create) and appends the scores to the history in
+  /// arrival order. All-or-nothing: if any window fails to score, the
+  /// error is returned and the history is not advanced — unlike a
+  /// sequence of ObserveWindow calls, which would commit the successful
+  /// prefix.
+  StatusOr<std::vector<WindowScore>> ObserveWindows(
+      const std::vector<dataframe::DataFrame>& windows);
+
   /// All scores so far, in arrival order.
   const std::vector<WindowScore>& history() const { return history_; }
 

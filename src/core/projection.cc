@@ -29,18 +29,15 @@ StatusOr<double> Projection::Evaluate(const dataframe::DataFrame& df,
   return acc;
 }
 
+linalg::Vector Projection::EvaluateAllAligned(
+    const linalg::Matrix& data) const {
+  return data.Multiply(coefficients_);
+}
+
 StatusOr<linalg::Vector> Projection::EvaluateAll(
     const dataframe::DataFrame& df) const {
   CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names_));
-  linalg::Vector out(df.num_rows());
-  for (size_t i = 0; i < data.rows(); ++i) {
-    double acc = 0.0;
-    for (size_t j = 0; j < data.cols(); ++j) {
-      acc += coefficients_[j] * data.At(i, j);
-    }
-    out[i] = acc;
-  }
-  return out;
+  return EvaluateAllAligned(data);
 }
 
 StatusOr<Projection> Projection::Normalized() const {

@@ -1,5 +1,7 @@
 #include "core/tml.h"
 
+#include "common/parallel.h"
+
 namespace ccs::core {
 
 StatusOr<SafetyEnvelope> SafetyEnvelope::Fit(
@@ -34,11 +36,13 @@ StatusOr<std::vector<TrustAssessment>> SafetyEnvelope::AssessAll(
     const dataframe::DataFrame& serving) const {
   CCS_ASSIGN_OR_RETURN(linalg::Vector v, constraint_.ViolationAll(serving));
   std::vector<TrustAssessment> out(serving.num_rows());
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i].violation = v[i];
-    out[i].trust = 1.0 - v[i];
-    out[i].unsafe = v[i] > unsafe_threshold_;
-  }
+  common::ParallelFor(out.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i].violation = v[i];
+      out[i].trust = 1.0 - v[i];
+      out[i].unsafe = v[i] > unsafe_threshold_;
+    }
+  });
   return out;
 }
 

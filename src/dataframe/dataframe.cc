@@ -100,6 +100,25 @@ StatusOr<linalg::Matrix> DataFrame::NumericMatrixFor(
   return out;
 }
 
+StatusOr<linalg::Matrix> DataFrame::NumericMatrixFor(
+    const std::vector<std::string>& names,
+    const std::vector<size_t>& rows) const {
+  linalg::Matrix out(rows.size(), names.size());
+  for (size_t j = 0; j < names.size(); ++j) {
+    CCS_ASSIGN_OR_RETURN(const Column* col, ColumnByName(names[j]));
+    if (!col->is_numeric()) {
+      return Status::InvalidArgument("column is not numeric: " + names[j]);
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i] >= num_rows_) {
+        return Status::OutOfRange("NumericMatrixFor: row index out of range");
+      }
+      out.At(i, j) = col->NumericAt(rows[i]);
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> DataFrame::NumericNames() const {
   std::vector<std::string> out;
   for (size_t i : schema_.NumericIndices()) {

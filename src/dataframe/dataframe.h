@@ -66,6 +66,14 @@ class DataFrame {
   StatusOr<linalg::Matrix> NumericMatrixFor(
       const std::vector<std::string>& names) const;
 
+  /// Selected columns restricted to the given rows (in the given order)
+  /// as a rows.size() x k matrix — the aligned per-group matrix the
+  /// batched disjunctive scorer materializes once per case. Row indices
+  /// must be in range.
+  StatusOr<linalg::Matrix> NumericMatrixFor(
+      const std::vector<std::string>& names,
+      const std::vector<size_t>& rows) const;
+
   /// Names of numeric / categorical columns in schema order.
   std::vector<std::string> NumericNames() const;
   std::vector<std::string> CategoricalNames() const;

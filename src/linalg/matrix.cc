@@ -55,6 +55,25 @@ Matrix Matrix::Multiply(const Matrix& other) const {
   return out;
 }
 
+Matrix Matrix::MultiplyRowRange(size_t row_begin, size_t row_end,
+                                const Matrix& other) const {
+  CCS_CHECK_EQ(cols_, other.rows_);
+  CCS_CHECK(row_begin <= row_end && row_end <= rows_);
+  Matrix out(row_end - row_begin, other.cols_);
+  // i,k,j loop order: out(i,j) accumulates over k in increasing order,
+  // matching Vector::Dot term order exactly (no zero-skipping), so the
+  // batched path reproduces per-row results bit for bit.
+  for (size_t i = row_begin; i < row_end; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double aik = At(i, k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.At(i - row_begin, j) += aik * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
 Vector Matrix::Multiply(const Vector& v) const {
   CCS_CHECK_EQ(cols_, v.size());
   Vector out(rows_);

@@ -58,6 +58,14 @@ class Matrix {
   /// this * other. Inner dimensions must agree.
   Matrix Multiply(const Matrix& other) const;
 
+  /// rows [row_begin, row_end) of this * other, as a
+  /// (row_end - row_begin) x other.cols() matrix. The kernel behind the
+  /// batched (chunk-parallel) violation scoring path; accumulates in the
+  /// same k-order as Vector::Dot so results are bitwise identical to
+  /// per-row evaluation.
+  Matrix MultiplyRowRange(size_t row_begin, size_t row_end,
+                          const Matrix& other) const;
+
   /// this * v.
   Vector Multiply(const Vector& v) const;
 

@@ -1,7 +1,12 @@
-// Tests for common/: Status, StatusOr, string utilities, Rng.
+// Tests for common/: Status, StatusOr, string utilities, Rng, ParallelFor.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/statusor.h"
@@ -290,6 +295,68 @@ TEST(RngTest, ShuffleKeepsMultiset) {
   rng.Shuffle(&shuffled);
   std::sort(shuffled.begin(), shuffled.end());
   EXPECT_EQ(shuffled, items);
+}
+
+TEST(ParallelTest, CoversRangeExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  common::ParallelOptions options;
+  options.num_threads = 4;
+  options.min_chunk = 128;  // Force many chunks.
+  common::ParallelFor(
+      kN,
+      [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, kN);
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      options);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTest, EmptyRangeDoesNothing) {
+  bool called = false;
+  common::ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelTest, NestedCallsRunSerially) {
+  // An outer parallel loop whose body parallelizes again must complete
+  // (inner calls degrade to serial instead of deadlocking the pool).
+  std::atomic<size_t> total{0};
+  common::ParallelOptions outer;
+  outer.num_threads = 4;
+  outer.min_chunk = 1;
+  common::ParallelFor(
+      8,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          common::ParallelOptions inner;
+          inner.num_threads = 4;
+          inner.min_chunk = 1;
+          common::ParallelFor(
+              100,
+              [&](size_t b, size_t e) {
+                total.fetch_add(e - b, std::memory_order_relaxed);
+              },
+              inner);
+        }
+      },
+      outer);
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ParallelTest, DefaultThreadCountOverride) {
+  size_t hardware = common::DefaultThreadCount();
+  EXPECT_GE(hardware, 1u);
+  common::SetDefaultThreadCount(3);
+  EXPECT_EQ(common::DefaultThreadCount(), 3u);
+  common::SetDefaultThreadCount(0);
+  EXPECT_EQ(common::DefaultThreadCount(), hardware);
 }
 
 }  // namespace

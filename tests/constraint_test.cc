@@ -5,8 +5,16 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+#include "common/random.h"
 #include "core/constraint.h"
 #include "core/projection.h"
+#include "core/synthesizer.h"
+#include "synth/airlines.h"
+#include "synth/evl.h"
+#include "synth/har.h"
+#include "synth/led.h"
+#include "synth/tabular.h"
 
 namespace ccs::core {
 namespace {
@@ -268,6 +276,37 @@ TEST(DisjunctiveConstraintTest, ViolationAllMatchesPerRow) {
   }
 }
 
+// Regression for the old fallback path: cases with DIFFERENT attribute
+// orders used to re-simplify and re-align per row; now each case's rows
+// are grouped and aligned once. Semantics must be unchanged.
+TEST(DisjunctiveConstraintTest, MixedAttributeOrderMatchesPerRow) {
+  auto make_case = [](std::vector<std::string> names, Vector coefs) {
+    Projection p = MakeProjection(names, std::move(coefs));
+    std::vector<BoundedConstraint> cs;
+    cs.emplace_back(std::move(p), -1.0, 1.0, 0.0, 0.5, 1.0);
+    auto c = SimpleConstraint::Create(std::move(names), std::move(cs));
+    CCS_CHECK(c.ok());
+    return std::move(c).value();
+  };
+  std::map<std::string, SimpleConstraint> cases;
+  cases.emplace("a", make_case({"x", "y"}, Vector{1.0, -1.0}));
+  cases.emplace("b", make_case({"y", "x"}, Vector{2.0, 0.5}));
+  DisjunctiveConstraint d("m", std::move(cases));
+
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", {0.1, 3.0, -2.0, 0.4, 9.0}).ok());
+  ASSERT_TRUE(df.AddNumericColumn("y", {0.2, 1.0, -2.5, 0.0, -9.0}).ok());
+  ASSERT_TRUE(
+      df.AddCategoricalColumn("m", {"a", "b", "b", "a", "unseen"}).ok());
+
+  auto all = d.ViolationAll(df);
+  ASSERT_TRUE(all.ok());
+  for (size_t i = 0; i < df.num_rows(); ++i) {
+    EXPECT_EQ((*all)[i], d.Violation(df, i).value()) << "row " << i;
+  }
+  EXPECT_EQ((*all)[4], 1.0);  // Unseen switch value.
+}
+
 // --------------------- ConformanceConstraint -------------------------
 
 TEST(ConformanceConstraintTest, AveragesGroups) {
@@ -311,6 +350,92 @@ TEST(ConformanceConstraintTest, IsSatisfiedMatchesZeroViolation) {
   ASSERT_TRUE(df.AddNumericColumn("y", {0.0, 0.0}).ok());
   EXPECT_TRUE(phi.IsSatisfied(df, 0).value());
   EXPECT_FALSE(phi.IsSatisfied(df, 1).value());
+}
+
+// ------------------- batch vs per-row equivalence --------------------
+
+// ViolationAll must reproduce the per-row Violation EXACTLY (same
+// floating-point evaluation order), for constraints synthesized on every
+// synthetic workload, with the batched kernel running on 1 and N threads.
+// Restores the process-wide thread-count default even when an ASSERT
+// bails out of the calling helper early.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { common::SetDefaultThreadCount(0); }
+};
+
+void ExpectBatchMatchesPerRow(const dataframe::DataFrame& train,
+                              const dataframe::DataFrame& serving) {
+  Synthesizer synthesizer;
+  auto constraint = synthesizer.Synthesize(train);
+  ASSERT_TRUE(constraint.ok()) << constraint.status().ToString();
+  ThreadCountGuard guard;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    common::SetDefaultThreadCount(threads);
+    auto all = constraint->ViolationAll(serving);
+    ASSERT_TRUE(all.ok()) << all.status().ToString();
+    ASSERT_EQ(all->size(), serving.num_rows());
+    for (size_t i = 0; i < serving.num_rows(); ++i) {
+      auto row = constraint->Violation(serving, i);
+      ASSERT_TRUE(row.ok()) << row.status().ToString();
+      ASSERT_EQ((*all)[i], *row) << "row " << i << ", " << threads
+                                 << " thread(s)";
+    }
+  }
+}
+
+TEST(BatchEquivalenceTest, AirlinesFlights) {
+  Rng rng(1);
+  auto train = synth::GenerateFlights(synth::FlightKind::kDaytime, 400, &rng);
+  // Large enough to split into several parallel chunks (min_chunk 2048),
+  // so the N-thread pass exercises real multi-chunk dispatch.
+  auto serving = synth::GenerateFlights(synth::FlightKind::kOvernight, 6000,
+                                        &rng);
+  ExpectBatchMatchesPerRow(train, serving);
+}
+
+TEST(BatchEquivalenceTest, Har) {
+  Rng rng(2);
+  auto persons = synth::HarPersons(2);
+  auto train = synth::GenerateHar(persons, synth::AllActivities(), 40, &rng);
+  ASSERT_TRUE(train.ok());
+  auto serving = synth::GenerateHar(persons, synth::AllActivities(), 20, &rng);
+  ASSERT_TRUE(serving.ok());
+  ExpectBatchMatchesPerRow(*train, *serving);
+}
+
+TEST(BatchEquivalenceTest, EvlWindows) {
+  Rng rng(3);
+  auto train = synth::GenerateEvlWindow("4CR", 0.0, 400, &rng);
+  ASSERT_TRUE(train.ok());
+  auto serving = synth::GenerateEvlWindow("4CR", 0.7, 200, &rng);
+  ASSERT_TRUE(serving.ok());
+  ExpectBatchMatchesPerRow(*train, *serving);
+}
+
+TEST(BatchEquivalenceTest, LedStream) {
+  Rng rng(4);
+  auto stream = synth::GenerateLedStream(6, 150, synth::DefaultLedSchedule(),
+                                         &rng);
+  ASSERT_TRUE(stream.ok());
+  ExpectBatchMatchesPerRow(stream->front(), stream->back());
+}
+
+TEST(BatchEquivalenceTest, TabularCardioMobileHouse) {
+  Rng rng(5);
+  auto cardio_ref = synth::GenerateCardio(300, false, &rng);
+  auto cardio_tgt = synth::GenerateCardio(150, true, &rng);
+  ASSERT_TRUE(cardio_ref.ok() && cardio_tgt.ok());
+  ExpectBatchMatchesPerRow(*cardio_ref, *cardio_tgt);
+
+  auto mobile_ref = synth::GenerateMobile(300, false, &rng);
+  auto mobile_tgt = synth::GenerateMobile(150, true, &rng);
+  ASSERT_TRUE(mobile_ref.ok() && mobile_tgt.ok());
+  ExpectBatchMatchesPerRow(*mobile_ref, *mobile_tgt);
+
+  auto house_ref = synth::GenerateHouse(300, false, &rng);
+  auto house_tgt = synth::GenerateHouse(150, true, &rng);
+  ASSERT_TRUE(house_ref.ok() && house_tgt.ok());
+  ExpectBatchMatchesPerRow(*house_ref, *house_tgt);
 }
 
 }  // namespace

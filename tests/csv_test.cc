@@ -156,5 +156,68 @@ TEST(CsvTest, MissingFileIsIoError) {
   EXPECT_EQ(df.status().code(), StatusCode::kIoError);
 }
 
+// ----------------------- RFC-4180 edge cases -------------------------
+
+TEST(CsvTest, QuotedFieldWithEmbeddedNewline) {
+  auto df = Parse("x,note\n1,\"line one\nline two\"\n2,plain\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 2u);
+  EXPECT_EQ(df->CategoricalValue(0, "note").value(), "line one\nline two");
+  EXPECT_EQ(df->CategoricalValue(1, "note").value(), "plain");
+  EXPECT_DOUBLE_EQ(df->NumericValue(1, "x").value(), 2.0);
+}
+
+TEST(CsvTest, QuotedFieldWithEscapedQuotes) {
+  auto df = Parse("x,say\n1,\"she said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->CategoricalValue(0, "say").value(), "she said \"hi\"");
+}
+
+TEST(CsvTest, EmbeddedNewlineSurvivesWriteReadRoundTrip) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddCategoricalColumn("s", {"a\nb", "c\"d"}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(df, out).ok());
+  auto back = Parse(out.str());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->CategoricalValue(0, "s").value(), "a\nb");
+  EXPECT_EQ(back->CategoricalValue(1, "s").value(), "c\"d");
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  auto df = Parse("x,tag\r\n1,a\r\n2,b\r\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(df->NumericValue(0, "x").value(), 1.0);
+  // No stray \r glued onto the last field of a record.
+  EXPECT_EQ(df->CategoricalValue(1, "tag").value(), "b");
+}
+
+TEST(CsvTest, CrlfInsideQuotedFieldIsPreserved) {
+  auto df = Parse("x,note\r\n1,\"a\r\nb\"\r\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->CategoricalValue(0, "note").value(), "a\r\nb");
+}
+
+TEST(CsvTest, TrailingEmptyField) {
+  // "1," has two fields; the trailing one is empty — the column must not
+  // collapse, and empty cells force the column categorical... unless the
+  // non-empty cells parse numeric, in which case they are missing values.
+  auto df = Parse("x,opt\n1,\n2,z\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 2u);
+  EXPECT_EQ(df->CategoricalValue(0, "opt").value(), "");
+  EXPECT_EQ(df->CategoricalValue(1, "opt").value(), "z");
+}
+
+TEST(CsvTest, TrailingEmptyNumericFieldUsesMissingValue) {
+  CsvOptions options;
+  options.missing_numeric = -1.0;
+  auto df = Parse("x,v\n1,\n2,7\n", options);
+  ASSERT_TRUE(df.ok());
+  EXPECT_DOUBLE_EQ(df->NumericValue(0, "v").value(), -1.0);
+  EXPECT_DOUBLE_EQ(df->NumericValue(1, "v").value(), 7.0);
+}
+
 }  // namespace
 }  // namespace ccs::dataframe
