@@ -148,4 +148,36 @@ void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
       lock, [&s = *state] { return s.chunks_done == s.total_chunks; });
 }
 
+void ParallelForEach(size_t n, const std::function<void(size_t)>& fn,
+                     size_t num_threads) {
+  if (n == 0) return;
+  size_t lanes = num_threads == 0 ? DefaultThreadCount() : num_threads;
+  if (lanes <= 1 || n <= 1 || ThreadPool::InWorker()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // A degenerate ParallelFor with single-index chunks: the atomic cursor
+  // in DrainChunks IS the work queue, so a lane stuck on one expensive
+  // index never blocks the others from draining the rest.
+  auto state = std::make_shared<ForState>();
+  std::function<void(size_t, size_t)> range_fn = [&fn](size_t begin,
+                                                       size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  };
+  state->fn = &range_fn;
+  state->n = n;
+  state->chunk = 1;
+  state->total_chunks = n;
+
+  size_t helpers = std::min(lanes - 1, n - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    ThreadPool::Shared().Submit([state] { DrainChunks(state.get()); });
+  }
+  DrainChunks(state.get());
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(
+      lock, [&s = *state] { return s.chunks_done == s.total_chunks; });
+}
+
 }  // namespace ccs::common

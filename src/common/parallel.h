@@ -2,10 +2,18 @@
 //
 // ParallelFor splits an index range into contiguous chunks and runs them
 // on a process-wide thread pool; the calling thread participates, so a
-// pool of k workers yields k+1-way parallelism. Nested calls (a worker
-// invoking ParallelFor) degrade to serial execution instead of
-// deadlocking, which lets outer loops (e.g. scoring many stream windows)
-// parallelize coarsely while inner batched kernels stay correct.
+// pool of k workers yields k+1-way parallelism. ParallelForEach is the
+// work-queue variant: indices are claimed one at a time, so a few
+// expensive items (e.g. skewed partition sizes) cannot serialize a lane.
+// Nested calls (a worker invoking either entry point) degrade to serial
+// execution instead of deadlocking, which lets outer loops (e.g. scoring
+// many stream windows) parallelize coarsely while inner batched kernels
+// stay correct.
+//
+// Determinism: neither entry point prescribes which lane runs which
+// index, so any cross-index reduction must be committed by the caller in
+// index order after the dispatch returns (see GramAccumulator::AddMatrix
+// for the canonical shard-then-ordered-merge pattern).
 
 #ifndef CCS_COMMON_PARALLEL_H_
 #define CCS_COMMON_PARALLEL_H_
@@ -76,8 +84,26 @@ struct ParallelOptions {
 /// [0, n). Chunks may run concurrently; `fn` must be safe to call from
 /// multiple threads as long as the index ranges are disjoint. Blocks
 /// until every chunk has completed.
+///
+/// \param n        Number of indices; [0, n) is covered exactly once.
+/// \param fn       Callback receiving a half-open index range.
+/// \param options  Lane count and chunking knobs (see ParallelOptions).
 void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
                  const ParallelOptions& options = ParallelOptions());
+
+/// Work-queue dispatch: invokes `fn(i)` exactly once for every i in
+/// [0, n), each index claimed individually by the next free lane. Use
+/// when per-index costs are wildly uneven (e.g. one disjunctive
+/// partition holding most of the rows) and contiguous chunking would
+/// serialize on the largest item; prefer ParallelFor when indices are
+/// cheap and uniform, since per-index claiming costs one atomic op each.
+/// Blocks until every index has completed; degrades to a serial loop
+/// when nested inside a pool worker.
+///
+/// \param num_threads  Number of parallel lanes; 0 means
+///                     DefaultThreadCount().
+void ParallelForEach(size_t n, const std::function<void(size_t)>& fn,
+                     size_t num_threads = 0);
 
 }  // namespace ccs::common
 

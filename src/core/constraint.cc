@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <vector>
 
@@ -242,6 +243,76 @@ StatusOr<bool> ConformanceConstraint::IsSatisfied(
     const dataframe::DataFrame& df, size_t row) const {
   CCS_ASSIGN_OR_RETURN(double v, Violation(df, row));
   return v == 0.0;
+}
+
+// ------------------- exact (bitwise) constraint equality ----------------
+//
+// Doubles are compared by BIT PATTERN, not operator==: the parallel
+// pipeline promises the SAME bits as the serial one, so -0.0 must not
+// pass for +0.0 (== would let that scheduling-order leak through) and a
+// NaN parameter must equal an identical copy of itself (== would fail a
+// constraint against its own clone).
+
+namespace {
+
+bool BitsEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+bool ConstraintsBitwiseEqual(const BoundedConstraint& a,
+                             const BoundedConstraint& b) {
+  if (!BitsEqual(a.lb(), b.lb()) || !BitsEqual(a.ub(), b.ub()) ||
+      !BitsEqual(a.mean(), b.mean()) || !BitsEqual(a.stddev(), b.stddev()) ||
+      !BitsEqual(a.importance(), b.importance())) {
+    return false;
+  }
+  const Projection& pa = a.projection();
+  const Projection& pb = b.projection();
+  if (pa.attribute_names() != pb.attribute_names()) return false;
+  if (pa.coefficients().size() != pb.coefficients().size()) return false;
+  for (size_t i = 0; i < pa.coefficients().size(); ++i) {
+    if (!BitsEqual(pa.coefficients()[i], pb.coefficients()[i])) return false;
+  }
+  return true;
+}
+
+bool ConstraintsBitwiseEqual(const SimpleConstraint& a,
+                             const SimpleConstraint& b) {
+  if (a.attribute_names() != b.attribute_names()) return false;
+  if (a.conjuncts().size() != b.conjuncts().size()) return false;
+  for (size_t i = 0; i < a.conjuncts().size(); ++i) {
+    if (!ConstraintsBitwiseEqual(a.conjuncts()[i], b.conjuncts()[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ConstraintsBitwiseEqual(const DisjunctiveConstraint& a,
+                             const DisjunctiveConstraint& b) {
+  if (a.attribute() != b.attribute()) return false;
+  if (a.cases().size() != b.cases().size()) return false;
+  auto ita = a.cases().begin();
+  auto itb = b.cases().begin();
+  for (; ita != a.cases().end(); ++ita, ++itb) {
+    if (ita->first != itb->first) return false;
+    if (!ConstraintsBitwiseEqual(ita->second, itb->second)) return false;
+  }
+  return true;
+}
+
+bool ConstraintsBitwiseEqual(const ConformanceConstraint& a,
+                             const ConformanceConstraint& b) {
+  if (!ConstraintsBitwiseEqual(a.global(), b.global())) return false;
+  if (a.disjunctions().size() != b.disjunctions().size()) return false;
+  for (size_t i = 0; i < a.disjunctions().size(); ++i) {
+    if (!ConstraintsBitwiseEqual(a.disjunctions()[i], b.disjunctions()[i])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace ccs::core

@@ -190,6 +190,22 @@ class ConformanceConstraint {
   std::vector<DisjunctiveConstraint> disjunctions_;
 };
 
+/// True iff the two constraints are exactly equal: same structure, same
+/// attribute names and partition keys, and every floating-point
+/// parameter (projection coefficients, bounds, means, stddevs,
+/// importances) identical as a BIT PATTERN — no tolerance, -0.0 != +0.0,
+/// NaN == NaN. This is the checker for the parallel-synthesis
+/// determinism contract: synthesis at any thread count must produce a
+/// constraint ConstraintsBitwiseEqual to the single-threaded one.
+bool ConstraintsBitwiseEqual(const BoundedConstraint& a,
+                             const BoundedConstraint& b);
+bool ConstraintsBitwiseEqual(const SimpleConstraint& a,
+                             const SimpleConstraint& b);
+bool ConstraintsBitwiseEqual(const DisjunctiveConstraint& a,
+                             const DisjunctiveConstraint& b);
+bool ConstraintsBitwiseEqual(const ConformanceConstraint& a,
+                             const ConformanceConstraint& b);
+
 }  // namespace ccs::core
 
 #endif  // CCS_CORE_CONSTRAINT_H_

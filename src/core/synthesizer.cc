@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/parallel.h"
 #include "linalg/symmetric_eigen.h"
 
 namespace ccs::core {
@@ -140,16 +142,34 @@ StatusOr<DisjunctiveConstraint> Synthesizer::SynthesizeDisjunctive(
         "SynthesizeDisjunctive: domain of " + attribute + " has " +
         std::to_string(partitions.size()) + " values, exceeding the limit");
   }
-  std::map<std::string, SimpleConstraint> cases;
-  for (const auto& [value, part] : partitions) {
-    if (part.num_rows() < options_.min_partition_rows) continue;
-    CCS_ASSIGN_OR_RETURN(SimpleConstraint c, SynthesizeSimple(part));
-    cases.emplace(value, std::move(c));
+  // Partitions are independent synthesis problems (§4.2): dispatch them
+  // over a work queue, so one dominant switch value (skewed categorical
+  // distributions are the norm) cannot serialize a whole lane behind it.
+  // Eligibility filtering and the switch-value order come from the
+  // std::map, so the work list — and the assembled constraint — is
+  // deterministic; only the execution schedule varies.
+  std::vector<const std::pair<const std::string, dataframe::DataFrame>*> work;
+  work.reserve(partitions.size());
+  for (const auto& entry : partitions) {
+    if (entry.second.num_rows() < options_.min_partition_rows) continue;
+    work.push_back(&entry);
   }
-  if (cases.empty()) {
+  if (work.empty()) {
     return Status::FailedPrecondition(
         "SynthesizeDisjunctive: every partition of " + attribute +
         " was below min_partition_rows");
+  }
+  std::vector<StatusOr<SimpleConstraint>> results(
+      work.size(), Status::Internal("partition not synthesized"));
+  common::ParallelForEach(work.size(), [&](size_t i) {
+    results[i] = SynthesizeSimple(work[i]->second);
+  });
+  // Commit in switch-value order; the first failing partition (in that
+  // fixed order, not completion order) determines the returned error.
+  std::map<std::string, SimpleConstraint> cases;
+  for (size_t i = 0; i < work.size(); ++i) {
+    if (!results[i].ok()) return std::move(results[i]).status();
+    cases.emplace(work[i]->first, std::move(results[i]).value());
   }
   return DisjunctiveConstraint(attribute, std::move(cases));
 }

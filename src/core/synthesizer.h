@@ -7,6 +7,16 @@
 // (Appendix A). Compound constraints partition on low-cardinality
 // categorical attributes and learn a simple constraint per partition
 // (§4.2).
+//
+// The pipeline is parallel end to end: Gram accumulation is sharded
+// across rows (GramAccumulator::AddMatrix) and disjunctive partitions
+// synthesize concurrently over a work queue (ParallelForEach). Both
+// stages commit their results in a fixed order that does not depend on
+// the thread count, so every synthesized constraint — coefficients,
+// bounds, means, stddevs, importances, partition keys — is bitwise
+// identical whether synthesis runs on 1 thread or N (verified by
+// ConstraintsBitwiseEqual in tests/synthesizer_test.cc and by
+// bench_parallel_synth before it reports any throughput number).
 
 #ifndef CCS_CORE_SYNTHESIZER_H_
 #define CCS_CORE_SYNTHESIZER_H_
@@ -77,25 +87,38 @@ class Synthesizer {
   const SynthesisOptions& options() const { return options_; }
 
   /// Algorithm 1 on the numeric attributes of `df`: a simple (conjunctive)
-  /// constraint with one bounded conjunct per retained projection.
-  /// Requires at least one numeric attribute and one row.
+  /// constraint with one bounded conjunct per retained projection. The
+  /// Gram accumulation underneath is row-shard parallel.
+  ///
+  /// \param df  Training data; needs >= 1 numeric attribute and 1 row.
+  /// \return The conjunctive constraint, or InvalidArgument on
+  ///         degenerate input.
   StatusOr<SimpleConstraint> SynthesizeSimple(
       const dataframe::DataFrame& df) const;
 
   /// Algorithm 1 from a pre-accumulated Gram matrix (the streaming /
-  /// partition-merge path of §4.3.2). `attribute_names` gives the column
-  /// order the accumulator was fed with.
+  /// partition-merge path of §4.3.2).
+  ///
+  /// \param attribute_names  Column order the accumulator was fed with.
+  /// \param gram             Accumulated state; count() must be > 0.
   StatusOr<SimpleConstraint> SynthesizeSimpleFromGram(
       const std::vector<std::string>& attribute_names,
       const linalg::GramAccumulator& gram) const;
 
   /// One disjunctive constraint switched on `attribute` (must be
-  /// categorical with a small-enough domain).
+  /// categorical with a small-enough domain). Partitions synthesize
+  /// concurrently over a work queue; cases are committed in switch-value
+  /// order so the result is identical at any thread count.
+  ///
+  /// \param df         Training data carrying `attribute`.
+  /// \param attribute  The categorical switch attribute.
   StatusOr<DisjunctiveConstraint> SynthesizeDisjunctive(
       const dataframe::DataFrame& df, const std::string& attribute) const;
 
   /// The full compound constraint: global simple constraint (if enabled)
   /// conjoined with one disjunction per eligible categorical attribute.
+  /// Runs the whole parallel pipeline; see the file comment for the
+  /// determinism contract.
   StatusOr<ConformanceConstraint> Synthesize(
       const dataframe::DataFrame& df) const;
 

@@ -12,11 +12,16 @@ StatusOr<SafetyEnvelope> SafetyEnvelope::Fit(
     return Status::InvalidArgument(
         "SafetyEnvelope: unsafe_threshold must be in [0,1]");
   }
-  dataframe::DataFrame covariates = training;
-  if (!target_attributes.empty()) {
-    CCS_ASSIGN_OR_RETURN(covariates, training.DropColumns(target_attributes));
-  }
   Synthesizer synthesizer(options);
+  // Only materialize a covariate copy when columns are actually dropped;
+  // the common no-target case synthesizes straight off `training`.
+  if (target_attributes.empty()) {
+    CCS_ASSIGN_OR_RETURN(ConformanceConstraint constraint,
+                         synthesizer.Synthesize(training));
+    return SafetyEnvelope(std::move(constraint), unsafe_threshold);
+  }
+  CCS_ASSIGN_OR_RETURN(dataframe::DataFrame covariates,
+                       training.DropColumns(target_attributes));
   CCS_ASSIGN_OR_RETURN(ConformanceConstraint constraint,
                        synthesizer.Synthesize(covariates));
   return SafetyEnvelope(std::move(constraint), unsafe_threshold);

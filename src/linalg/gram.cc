@@ -1,5 +1,10 @@
 #include "linalg/gram.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.h"
+
 namespace ccs::linalg {
 
 GramAccumulator::GramAccumulator(size_t num_attributes)
@@ -21,9 +26,50 @@ void GramAccumulator::Add(const Vector& tuple) {
   ++n_;
 }
 
+void GramAccumulator::AccumulateRows(const Matrix& data, size_t row_begin,
+                                     size_t row_end) {
+  // Same per-entry term order as Add(), reading the matrix in place so
+  // shard workers never materialize row Vectors.
+  for (size_t r = row_begin; r < row_end; ++r) {
+    sum_.At(0, 0) += 1.0;
+    for (size_t i = 0; i < m_; ++i) {
+      double v = data.At(r, i);
+      sum_.At(0, i + 1) += v;
+      sum_.At(i + 1, 0) += v;
+      for (size_t j = i; j < m_; ++j) {
+        double prod = v * data.At(r, j);
+        sum_.At(i + 1, j + 1) += prod;
+        if (j != i) sum_.At(j + 1, i + 1) += prod;
+      }
+    }
+    ++n_;
+  }
+}
+
 void GramAccumulator::AddMatrix(const Matrix& data) {
   CCS_CHECK_EQ(data.cols(), m_);
-  for (size_t r = 0; r < data.rows(); ++r) Add(data.Row(r));
+  const size_t n = data.rows();
+  const size_t shards = (n + kGramShardRows - 1) / kGramShardRows;
+  if (shards <= 1) {
+    AccumulateRows(data, 0, n);
+    return;
+  }
+  // Shard boundaries depend only on n, so the summation tree — partials
+  // built row-by-row, folded in ascending shard index — is the same at
+  // every thread count. Only shard EXECUTION is scheduled dynamically.
+  std::vector<GramAccumulator> partials(shards, GramAccumulator(m_));
+  common::ParallelFor(
+      shards,
+      [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          partials[s].AccumulateRows(data, s * kGramShardRows,
+                                     std::min(n, (s + 1) * kGramShardRows));
+        }
+      },
+      common::ParallelOptions{/*num_threads=*/0, /*min_chunk=*/1});
+  for (const GramAccumulator& partial : partials) {
+    CCS_CHECK(Merge(partial).ok());
+  }
 }
 
 Status GramAccumulator::Merge(const GramAccumulator& other) {
@@ -31,7 +77,7 @@ Status GramAccumulator::Merge(const GramAccumulator& other) {
     return Status::InvalidArgument(
         "GramAccumulator::Merge: attribute count mismatch");
   }
-  sum_ = sum_.Add(other.sum_);
+  sum_.AddInPlace(other.sum_);
   n_ += other.n_;
   return Status::OK();
 }

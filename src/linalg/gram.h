@@ -9,6 +9,15 @@
 //   - the augmented Gram matrix [1; X]^T [1; X]   (for eigenvectors),
 //   - per-attribute means,
 //   - the covariance matrix                       (for baselines).
+//
+// AddMatrix is the bulk path and is chunk-parallel: rows are split into
+// fixed-size shards (kGramShardRows, independent of the thread count),
+// each shard accumulated into a thread-local partial, and the partials
+// merged in ascending shard order on the calling thread. Because both
+// the shard boundaries and the merge order are fixed, the accumulated
+// sums — and everything synthesized from them — are bitwise identical at
+// any thread count, including 1 (see docs/architecture.md, "Determinism
+// contract").
 
 #ifndef CCS_LINALG_GRAM_H_
 #define CCS_LINALG_GRAM_H_
@@ -21,20 +30,33 @@
 
 namespace ccs::linalg {
 
+/// Rows per accumulation shard in GramAccumulator::AddMatrix. Fixed (not
+/// derived from the thread count) so the floating-point summation tree —
+/// and therefore every synthesized constraint — is identical no matter
+/// how many lanes execute the shards.
+inline constexpr size_t kGramShardRows = 1024;
+
 /// Accumulates sum over tuples of (1,t)(1,t)^T in O(m^2) space.
 class GramAccumulator {
  public:
   /// An accumulator over m-attribute tuples.
   explicit GramAccumulator(size_t num_attributes);
 
-  /// Adds one tuple. Size must equal num_attributes().
+  /// Adds one tuple (the streaming path). Size must equal
+  /// num_attributes().
   void Add(const Vector& tuple);
 
-  /// Adds every row of a data matrix (n x m).
+  /// Adds every row of a data matrix (the bulk path), sharding rows into
+  /// kGramShardRows blocks accumulated in parallel and merged in fixed
+  /// shard order. Deterministic at any thread count.
+  ///
+  /// \param data  An n x num_attributes() matrix; rows are tuples.
   void AddMatrix(const Matrix& data);
 
   /// Merges another accumulator built over the same schema (partition-wise
   /// parallel pattern from §4.3.2).
+  ///
+  /// \return InvalidArgument when the attribute counts differ.
   Status Merge(const GramAccumulator& other);
 
   size_t num_attributes() const { return m_; }
@@ -54,6 +76,10 @@ class GramAccumulator {
   Matrix Covariance() const;
 
  private:
+  // Accumulates rows [row_begin, row_end) of `data` directly into sum_,
+  // in row order with Add()'s per-entry term order.
+  void AccumulateRows(const Matrix& data, size_t row_begin, size_t row_end);
+
   size_t m_;
   int64_t n_;
   // Row-major (m+1)x(m+1) sum of (1,t)(1,t)^T. Entry (0,0) is the count,

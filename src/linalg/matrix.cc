@@ -94,11 +94,15 @@ Matrix Matrix::Transposed() const {
 }
 
 Matrix Matrix::Add(const Matrix& other) const {
+  Matrix out = *this;
+  out.AddInPlace(other);
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
   CCS_CHECK_EQ(rows_, other.rows_);
   CCS_CHECK_EQ(cols_, other.cols_);
-  Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
-  return out;
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 
 void Matrix::Scale(double alpha) {

@@ -63,6 +63,11 @@ class Matrix {
   /// batched (chunk-parallel) violation scoring path; accumulates in the
   /// same k-order as Vector::Dot so results are bitwise identical to
   /// per-row evaluation.
+  ///
+  /// \param row_begin  First row of this to multiply (inclusive).
+  /// \param row_end    One past the last row; must be <= rows().
+  /// \param other      Right factor; other.rows() must equal cols().
+  /// \return The product slice, with row 0 holding row_begin's result.
   Matrix MultiplyRowRange(size_t row_begin, size_t row_end,
                           const Matrix& other) const;
 
@@ -73,7 +78,14 @@ class Matrix {
   Matrix Transposed() const;
 
   /// this + other, elementwise; shapes must match.
+  ///
+  /// \return A freshly allocated sum; use AddInPlace on hot paths.
   Matrix Add(const Matrix& other) const;
+
+  /// this += other, elementwise and allocation-free; shapes must match.
+  /// The reduction step of the shard-merge pattern (GramAccumulator
+  /// partials are folded with it in fixed shard order).
+  void AddInPlace(const Matrix& other);
 
   /// Scales every entry.
   void Scale(double alpha);

@@ -359,5 +359,57 @@ TEST(ParallelTest, DefaultThreadCountOverride) {
   EXPECT_EQ(common::DefaultThreadCount(), hardware);
 }
 
+TEST(ParallelForEachTest, VisitsEveryIndexExactlyOnce) {
+  constexpr size_t kN = 997;  // Prime, so no chunk boundary coincidences.
+  std::vector<std::atomic<int>> hits(kN);
+  common::ParallelForEach(
+      kN,
+      [&](size_t i) {
+        ASSERT_LT(i, kN);
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      /*num_threads=*/4);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForEachTest, EmptyRangeDoesNothing) {
+  bool called = false;
+  common::ParallelForEach(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForEachTest, SkewedItemCostsAllComplete) {
+  // One index is vastly more expensive; the work queue must still drain
+  // every other index (no lane waits behind the big one).
+  std::atomic<size_t> done{0};
+  common::ParallelForEach(
+      64,
+      [&](size_t i) {
+        volatile double sink = 0.0;
+        size_t spins = (i == 0) ? 2000000 : 100;
+        for (size_t k = 0; k < spins; ++k) sink += 1.0;
+        done.fetch_add(1, std::memory_order_relaxed);
+      },
+      /*num_threads=*/4);
+  EXPECT_EQ(done.load(), 64u);
+}
+
+TEST(ParallelForEachTest, NestedCallsComplete) {
+  // Inner dispatches from pool workers degrade to serial; either way
+  // every inner index must run exactly once with no deadlock.
+  std::atomic<size_t> total{0};
+  common::ParallelForEach(
+      8,
+      [&](size_t) {
+        common::ParallelForEach(
+            100, [&](size_t) { total.fetch_add(1, std::memory_order_relaxed); },
+            /*num_threads=*/4);
+      },
+      /*num_threads=*/4);
+  EXPECT_EQ(total.load(), 800u);
+}
+
 }  // namespace
 }  // namespace ccs

@@ -1,12 +1,16 @@
 // Tests for core/synthesizer: Algorithm 1 and its guarantees
-// (Theorem 13), Example 6/7 scenarios, and disjunctive synthesis (§4.2).
+// (Theorem 13), Example 6/7 scenarios, disjunctive synthesis (§4.2), and
+// the parallel-synthesis determinism contract (bitwise-identical
+// constraints at every thread count).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "core/synthesizer.h"
+#include "linalg/gram.h"
 #include "stats/correlation.h"
 
 namespace ccs::core {
@@ -415,6 +419,161 @@ INSTANTIATE_TEST_SUITE_P(Filters, ProjectionFilterTest,
                          ::testing::Values(ProjectionFilter::kAll,
                                            ProjectionFilter::kLowVarianceHalf,
                                            ProjectionFilter::kHighVarianceHalf));
+
+// ---------------- parallel-synthesis determinism ----------------------
+//
+// Contract: Synthesize / SynthesizeDisjunctive / SynthesizeSimple return
+// constraints that are ConstraintsBitwiseEqual — every coefficient,
+// bound, and partition key compared with ==, no tolerance — at 1, 2, and
+// N threads. Shard boundaries (kGramShardRows) and merge order are fixed
+// independently of the thread count, so this is exact, not approximate.
+
+// Restores the process-default thread count even if a test fails.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() = default;
+  ~ThreadCountGuard() { common::SetDefaultThreadCount(0); }
+};
+
+// A frame wide and tall enough to cross several Gram shard boundaries,
+// with a skewed categorical switch (one dominant partition, several
+// small ones, and singleton partitions that min_partition_rows skips).
+DataFrame ShardCrossingFrame() {
+  const size_t n = 3 * linalg::kGramShardRows + 137;  // Partial last shard.
+  Rng rng(47);
+  std::vector<double> x(n), y(n), z(n);
+  std::vector<std::string> g(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-10.0, 10.0);
+    y[i] = 0.5 * x[i] + rng.Gaussian(0.0, 0.2);
+    z[i] = -x[i] + y[i] + rng.Gaussian(0.0, 0.3);
+    if (i < 2) {
+      g[i] = "singleton" + std::to_string(i);  // Below min_partition_rows.
+    } else if (rng.Bernoulli(0.7)) {
+      g[i] = "dominant";
+    } else {
+      g[i] = "minor" + std::to_string(rng.UniformInt(0, 3));
+    }
+  }
+  DataFrame df;
+  CCS_CHECK(df.AddNumericColumn("x", std::move(x)).ok());
+  CCS_CHECK(df.AddNumericColumn("y", std::move(y)).ok());
+  CCS_CHECK(df.AddNumericColumn("z", std::move(z)).ok());
+  CCS_CHECK(df.AddCategoricalColumn("g", std::move(g)).ok());
+  return df;
+}
+
+TEST(ParallelSynthesisTest, SimpleConstraintBitwiseIdenticalAcrossThreads) {
+  ThreadCountGuard guard;
+  DataFrame df = ShardCrossingFrame();
+  Synthesizer synth;
+  common::SetDefaultThreadCount(1);
+  auto serial = synth.SynthesizeSimple(df);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {2u, 4u, 8u}) {
+    common::SetDefaultThreadCount(threads);
+    auto parallel = synth.SynthesizeSimple(df);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_TRUE(ConstraintsBitwiseEqual(*serial, *parallel))
+        << "SynthesizeSimple diverged at " << threads << " threads";
+  }
+}
+
+TEST(ParallelSynthesisTest, CompoundConstraintBitwiseIdenticalAcrossThreads) {
+  ThreadCountGuard guard;
+  DataFrame df = ShardCrossingFrame();
+  Synthesizer synth;
+  common::SetDefaultThreadCount(1);
+  auto serial = synth.Synthesize(df);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(serial->has_global());
+  ASSERT_EQ(serial->disjunctions().size(), 1u);
+  // Singleton partitions are skipped; dominant + minor0..3 remain.
+  EXPECT_EQ(serial->disjunctions()[0].cases().size(), 5u);
+  for (size_t threads : {2u, 4u, 8u}) {
+    common::SetDefaultThreadCount(threads);
+    auto parallel = synth.Synthesize(df);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_TRUE(ConstraintsBitwiseEqual(*serial, *parallel))
+        << "Synthesize diverged at " << threads << " threads";
+  }
+}
+
+TEST(ParallelSynthesisTest, AllRowsInOnePartitionSkew) {
+  // Extreme skew: every row carries the same switch value, so the work
+  // queue holds exactly one (large) partition.
+  ThreadCountGuard guard;
+  const size_t n = linalg::kGramShardRows + 50;
+  Rng rng(53);
+  std::vector<double> x(n), y(n);
+  std::vector<std::string> g(n, "only");
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-5.0, 5.0);
+    y[i] = 2.0 * x[i] + rng.Gaussian(0.0, 0.1);
+  }
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", std::move(x)).ok());
+  ASSERT_TRUE(df.AddNumericColumn("y", std::move(y)).ok());
+  ASSERT_TRUE(df.AddCategoricalColumn("g", std::move(g)).ok());
+
+  Synthesizer synth;
+  common::SetDefaultThreadCount(1);
+  auto serial = synth.SynthesizeDisjunctive(df, "g");
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial->cases().size(), 1u);
+  common::SetDefaultThreadCount(8);
+  auto parallel = synth.SynthesizeDisjunctive(df, "g");
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_TRUE(ConstraintsBitwiseEqual(*serial, *parallel));
+}
+
+TEST(ParallelSynthesisTest, SinglePartitionsBelowMinimumFailIdentically) {
+  // Every partition is a singleton: no case survives, and the error is
+  // the same FailedPrecondition at any thread count (an "empty
+  // partition set" must not depend on scheduling).
+  ThreadCountGuard guard;
+  DataFrame df;
+  ASSERT_TRUE(df.AddNumericColumn("x", {1.0, 2.0, 3.0, 4.0}).ok());
+  ASSERT_TRUE(df.AddCategoricalColumn("g", {"a", "b", "c", "d"}).ok());
+  Synthesizer synth;
+  for (size_t threads : {1u, 8u}) {
+    common::SetDefaultThreadCount(threads);
+    auto disj = synth.SynthesizeDisjunctive(df, "g");
+    ASSERT_FALSE(disj.ok());
+    EXPECT_EQ(disj.status().code(), StatusCode::kFailedPrecondition)
+        << "at " << threads << " threads";
+  }
+}
+
+TEST(ParallelSynthesisTest, GramMatrixPathIdenticalAcrossThreads) {
+  // The layer below the synthesizer: AddMatrix itself must produce the
+  // same bits at any thread count (fixed shards, ordered merge).
+  ThreadCountGuard guard;
+  const size_t n = 2 * linalg::kGramShardRows + 11;
+  Rng rng(59);
+  linalg::Matrix data(n, 3);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < 3; ++c) data.At(r, c) = rng.Gaussian();
+  }
+  common::SetDefaultThreadCount(1);
+  linalg::GramAccumulator serial(3);
+  serial.AddMatrix(data);
+  for (size_t threads : {2u, 8u}) {
+    common::SetDefaultThreadCount(threads);
+    linalg::GramAccumulator parallel(3);
+    parallel.AddMatrix(data);
+    ASSERT_EQ(parallel.count(), serial.count());
+    linalg::Matrix serial_gram = serial.AugmentedGram();
+    linalg::Matrix parallel_gram = parallel.AugmentedGram();
+    const auto& a = serial_gram.data();
+    const auto& b = parallel_gram.data();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "Gram entry " << i << " differs at "
+                            << threads << " threads";
+    }
+  }
+}
 
 TEST(ProjectionFilterTest, MinimumVarianceOnlyKeepsSingleConjunct) {
   DataFrame df = CorrelatedFrame(200, 2.0, 0.1, 41);

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in Markdown files.
+
+Usage: tools/check_links.py FILE.md [FILE.md ...]
+
+Checks every inline Markdown link/image ``[text](target)`` whose target
+is a relative path: the referenced file must exist relative to the
+Markdown file's directory. When the target carries a ``#fragment`` into
+another Markdown file, the fragment must match a heading in that file
+(GitHub anchor rules: lowercase, punctuation stripped, spaces to
+hyphens). External (``http://``, ``https://``, ``mailto:``) and
+pure-in-page (``#...``) targets are skipped — CI must not depend on
+network reachability. Exits 1 listing every broken link, 0 when clean.
+
+Stdlib only; used by the CI docs job and runnable locally.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images. [text](target) with an optional "title" — nested
+# parens in targets are not used in this repo.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # Unwrap links.
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_in(md_file: Path) -> set:
+    """All anchors GitHub generates for the file's headings, including
+    the -1, -2 suffixes repeated headings get."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    for line in md_file.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            base = github_anchor(m.group(1))
+            n = counts.get(base, 0)
+            counts[base] = n + 1
+            anchors.add(base if n == 0 else f"{base}-{n}")
+    return anchors
+
+
+def links_in(md_file: Path):
+    """Yields (line_number, target) for inline links outside code fences
+    and outside inline code spans."""
+    in_fence = False
+    for lineno, line in enumerate(
+        md_file.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # `[not](a-link)` inside backticks is literal text, not a link.
+        line = re.sub(r"`[^`]*`", "", line)
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(md_file: Path) -> list:
+    errors = []
+    for lineno, target in links_in(md_file):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (md_file.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_file}:{lineno}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix.lower() == ".md":
+            if fragment not in anchors_in(resolved):
+                errors.append(
+                    f"{md_file}:{lineno}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 1
+    errors = []
+    checked = 0
+    for arg in argv[1:]:
+        md_file = Path(arg)
+        if not md_file.exists():
+            errors.append(f"{md_file}: no such file")
+            continue
+        checked += 1
+        errors.extend(check_file(md_file))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"check_links: {checked} file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
