@@ -1,0 +1,120 @@
+// A bounded, blocking MPMC queue — the backpressure primitive of the
+// streaming pipeline (src/stream/).
+//
+// Push blocks while the queue is full, so a fast producer (e.g. CSV
+// ingest) cannot run unboundedly ahead of a slow consumer (e.g. window
+// scoring): memory stays proportional to `capacity`, not to the stream
+// length. Close() ends the conversation from either side: producers'
+// Push starts returning false (consumer gave up / stream cancelled) and
+// consumers' Pop drains whatever is already buffered, then returns
+// nullopt (producers are done). Multiple producers and consumers are
+// supported; elements leave in FIFO order.
+
+#ifndef CCS_COMMON_BOUNDED_QUEUE_H_
+#define CCS_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ccs::common {
+
+/// Bounded blocking FIFO channel between pipeline stages.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue holding at most `capacity` elements (at least 1).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (backpressure), then enqueues `value`.
+  /// Returns false — without enqueueing — once the queue is closed.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    if (items_.size() > peak_depth_) peak_depth_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available and dequeues it. Returns
+  /// nullopt once the queue is closed AND drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // Closed and drained.
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Dequeues an element if one is ready; never blocks. Returns nullopt
+  /// when the queue is momentarily empty (closed or not).
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Closes the queue from either end: wakes every blocked Push/Pop.
+  /// Buffered elements remain poppable; further pushes are refused.
+  /// Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// High-water mark of the buffered element count — the pipeline's
+  /// queue-depth statistic (how close the stage ran to backpressure).
+  size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  size_t peak_depth_ = 0;
+};
+
+}  // namespace ccs::common
+
+#endif  // CCS_COMMON_BOUNDED_QUEUE_H_

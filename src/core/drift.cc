@@ -10,6 +10,11 @@ Status ConformanceDriftQuantifier::Fit(const dataframe::DataFrame& reference) {
   return Status::OK();
 }
 
+void ConformanceDriftQuantifier::Adopt(ConformanceConstraint constraint) {
+  constraint_ = std::move(constraint);
+  fitted_ = true;
+}
+
 StatusOr<double> ConformanceDriftQuantifier::Score(
     const dataframe::DataFrame& window) const {
   if (!fitted_) {

@@ -26,6 +26,14 @@ class ConformanceDriftQuantifier {
   /// Learns the reference profile.
   Status Fit(const dataframe::DataFrame& reference);
 
+  /// Adopts an externally synthesized constraint as the reference
+  /// profile — the streaming-refresh hook (§4.3.2): an
+  /// IncrementalSynthesizer can fold appended tuples into its Gram state
+  /// and hand the re-synthesized constraint here without the quantifier
+  /// revisiting old data. Equivalent to a successful Fit on data that
+  /// synthesizes to `constraint`.
+  void Adopt(ConformanceConstraint constraint);
+
   /// Mean violation of `window` against the reference constraints — the
   /// drift magnitude, in [0, 1].
   StatusOr<double> Score(const dataframe::DataFrame& window) const;

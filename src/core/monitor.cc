@@ -50,6 +50,10 @@ StatusOr<StreamMonitor> StreamMonitor::Create(
 
 StatusOr<WindowScore> StreamMonitor::ObserveWindow(
     const dataframe::DataFrame& window) {
+  if (window.num_rows() == 0) {
+    return Status::InvalidArgument(
+        "StreamMonitor::ObserveWindow: empty window");
+  }
   CCS_ASSIGN_OR_RETURN(double drift, quantifier_.Score(window));
   WindowScore score;
   score.window_index = history_.size();
@@ -60,10 +64,16 @@ StatusOr<WindowScore> StreamMonitor::ObserveWindow(
 }
 
 StatusOr<std::vector<WindowScore>> StreamMonitor::ObserveWindows(
-    const std::vector<dataframe::DataFrame>& windows) {
+    const std::vector<dataframe::DataFrame>& windows, size_t num_threads) {
   // Score in parallel into a scratch buffer, then commit to the history
   // in arrival order only if every window succeeded (all-or-nothing, so
   // a failure cannot leave a partially advanced history).
+  for (const dataframe::DataFrame& window : windows) {
+    if (window.num_rows() == 0) {
+      return Status::InvalidArgument(
+          "StreamMonitor::ObserveWindows: empty window");
+    }
+  }
   std::vector<StatusOr<double>> drifts(windows.size(),
                                        Status::Internal("window not scored"));
   common::ParallelFor(
@@ -73,7 +83,7 @@ StatusOr<std::vector<WindowScore>> StreamMonitor::ObserveWindows(
           drifts[i] = quantifier_.Score(windows[i]);
         }
       },
-      common::ParallelOptions{/*num_threads=*/0, /*min_chunk=*/1});
+      common::ParallelOptions{num_threads, /*min_chunk=*/1});
   std::vector<WindowScore> out;
   out.reserve(windows.size());
   for (StatusOr<double>& drift : drifts) {
@@ -88,6 +98,15 @@ StatusOr<std::vector<WindowScore>> StreamMonitor::ObserveWindows(
     out.push_back(score);
   }
   return out;
+}
+
+Status StreamMonitor::RefreshReference(const SimpleConstraint& constraint) {
+  if (constraint.empty()) {
+    return Status::InvalidArgument(
+        "StreamMonitor::RefreshReference: constraint has no conjuncts");
+  }
+  quantifier_.Adopt(ConformanceConstraint(constraint, {}));
+  return Status::OK();
 }
 
 }  // namespace ccs::core

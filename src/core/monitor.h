@@ -3,8 +3,10 @@
 // IncrementalSynthesizer exploits §4.3.2: the Gram matrix is a streaming
 // sum, so constraints can be refreshed after any number of appended tuples
 // at O(m^3) cost without revisiting old data. StreamMonitor packages the
-// serving-side loop: per-window mean violation against a fixed reference
-// profile, with a violation threshold alarm.
+// serving-side loop: per-window mean violation against a reference
+// profile, with a violation threshold alarm; RefreshReference swaps the
+// profile for a re-synthesized one mid-stream (src/stream's pipeline
+// drives both halves).
 
 #ifndef CCS_CORE_MONITOR_H_
 #define CCS_CORE_MONITOR_H_
@@ -66,17 +68,33 @@ class StreamMonitor {
       const dataframe::DataFrame& reference, double alarm_threshold,
       SynthesisOptions options = SynthesisOptions());
 
-  /// Scores the next window.
+  /// Scores the next window. InvalidArgument on an empty window (the
+  /// history is not advanced).
   StatusOr<WindowScore> ObserveWindow(const dataframe::DataFrame& window);
 
   /// Scores a batch of windows concurrently (the reference profile is
-  /// fixed after Create) and appends the scores to the history in
+  /// fixed between refreshes) and appends the scores to the history in
   /// arrival order. All-or-nothing: if any window fails to score, the
   /// error is returned and the history is not advanced — unlike a
   /// sequence of ObserveWindow calls, which would commit the successful
   /// prefix.
+  ///
+  /// \param num_threads  Scoring lanes; 0 means DefaultThreadCount().
+  ///                     Scores are independent per window, so the lane
+  ///                     count never changes the result.
   StatusOr<std::vector<WindowScore>> ObserveWindows(
-      const std::vector<dataframe::DataFrame>& windows);
+      const std::vector<dataframe::DataFrame>& windows,
+      size_t num_threads = 0);
+
+  /// Swaps the reference profile for a freshly synthesized global
+  /// constraint — the serving half of the §4.3.2 refresh loop, fed by
+  /// IncrementalSynthesizer::Synthesize. The alarm threshold and the
+  /// score history are unchanged; only windows observed after the call
+  /// score against the new profile. Note the refreshed profile is the
+  /// global simple constraint only (incremental maintenance of
+  /// disjunctive cases is not implemented); InvalidArgument when
+  /// `constraint` has no conjuncts.
+  Status RefreshReference(const SimpleConstraint& constraint);
 
   /// All scores so far, in arrival order.
   const std::vector<WindowScore>& history() const { return history_; }

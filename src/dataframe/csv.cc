@@ -60,6 +60,14 @@ StatusOr<bool> ReadRecord(std::istream& in, char delimiter,
   return true;
 }
 
+// Numeric-cell conversion shared by ReadCsv and CsvChunkReader: empty
+// cells map to `missing`; nullopt means a non-empty cell that does not
+// parse as a double.
+std::optional<double> NumericCell(const std::string& cell, double missing) {
+  if (Trim(cell).empty()) return missing;
+  return ParseDouble(cell);
+}
+
 }  // namespace
 
 StatusOr<DataFrame> ReadCsv(std::istream& in, const CsvOptions& options) {
@@ -123,7 +131,8 @@ StatusOr<DataFrame> ReadCsv(std::istream& in, const CsvOptions& options) {
       std::vector<double> values;
       values.reserve(cells[c].size());
       for (const std::string& cell : cells[c]) {
-        auto parsed = ParseDouble(cell);
+        // Inference already proved every non-empty cell parses.
+        auto parsed = NumericCell(cell, options.missing_numeric);
         values.push_back(parsed.value_or(options.missing_numeric));
       }
       CCS_RETURN_IF_ERROR(df.AddNumericColumn(header[c], std::move(values)));
@@ -140,6 +149,103 @@ StatusOr<DataFrame> ReadCsvFile(const std::string& path,
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open file: " + path);
   return ReadCsv(in, options);
+}
+
+CsvChunkReader::CsvChunkReader(std::istream* in, Schema schema,
+                               CsvOptions options)
+    : in_(in), schema_(std::move(schema)), options_(options) {}
+
+Status CsvChunkReader::ReadHeader() {
+  col_map_.assign(schema_.num_attributes(), 0);
+  if (!options_.has_header) {
+    // Positional mapping: schema attribute i <- stream field i.
+    stream_columns_ = schema_.num_attributes();
+    for (size_t i = 0; i < schema_.num_attributes(); ++i) col_map_[i] = i;
+    header_done_ = true;
+    return Status::OK();
+  }
+  std::vector<std::string> header;
+  CCS_ASSIGN_OR_RETURN(bool got,
+                       ReadRecord(*in_, options_.delimiter, &header));
+  if (!got) {
+    return Status::InvalidArgument("CsvChunkReader: empty input");
+  }
+  stream_columns_ = header.size();
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    const std::string& name = schema_.attribute(i).name;
+    bool found = false;
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (header[c] == name) {
+        col_map_[i] = c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "CsvChunkReader: stream header is missing schema column '" + name +
+          "'");
+    }
+  }
+  header_done_ = true;
+  return Status::OK();
+}
+
+StatusOr<DataFrame> CsvChunkReader::ReadChunk(size_t max_rows) {
+  if (!header_done_) CCS_RETURN_IF_ERROR(ReadHeader());
+
+  const size_t m = schema_.num_attributes();
+  std::vector<std::vector<double>> numeric(m);
+  std::vector<std::vector<std::string>> categorical(m);
+
+  std::vector<std::string> record;
+  size_t rows = 0;
+  while (rows < max_rows) {
+    CCS_ASSIGN_OR_RETURN(bool got,
+                         ReadRecord(*in_, options_.delimiter, &record));
+    if (!got) break;
+    // Header-mapped streams must match the header width exactly (the
+    // ragged-row rule of ReadCsv); headerless streams may carry extra
+    // trailing fields beyond the schema's.
+    bool ragged = options_.has_header ? record.size() != stream_columns_
+                                      : record.size() < stream_columns_;
+    if (ragged) {
+      return Status::InvalidArgument(
+          "CsvChunkReader: row " + std::to_string(rows_read_ + rows) +
+          " has " + std::to_string(record.size()) + " fields, expected " +
+          std::to_string(stream_columns_));
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const std::string& cell = record[col_map_[i]];
+      if (schema_.attribute(i).type == AttributeType::kNumeric) {
+        auto parsed = NumericCell(cell, options_.missing_numeric);
+        if (!parsed.has_value()) {
+          return Status::InvalidArgument(
+              "CsvChunkReader: row " + std::to_string(rows_read_ + rows) +
+              ", column '" + schema_.attribute(i).name + "': cannot parse '" +
+              cell + "' as a number");
+        }
+        numeric[i].push_back(*parsed);
+      } else {
+        categorical[i].push_back(cell);
+      }
+    }
+    ++rows;
+  }
+
+  DataFrame df;
+  for (size_t i = 0; i < m; ++i) {
+    const Attribute& attr = schema_.attribute(i);
+    if (attr.type == AttributeType::kNumeric) {
+      CCS_RETURN_IF_ERROR(
+          df.AddNumericColumn(attr.name, std::move(numeric[i])));
+    } else {
+      CCS_RETURN_IF_ERROR(
+          df.AddCategoricalColumn(attr.name, std::move(categorical[i])));
+    }
+  }
+  rows_read_ += rows;
+  return df;
 }
 
 namespace {

@@ -6,6 +6,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/statusor.h"
 #include "dataframe/dataframe.h"
@@ -36,6 +37,47 @@ StatusOr<DataFrame> ReadCsv(std::istream& in,
 /// Reads a CSV file from disk. IoError if the file cannot be opened.
 StatusOr<DataFrame> ReadCsvFile(const std::string& path,
                                 const CsvOptions& options = CsvOptions());
+
+/// Incremental, schema-driven CSV reader for streaming ingestion.
+///
+/// ReadCsv buffers the whole stream before it can infer column types;
+/// CsvChunkReader is instead given the schema up front (typically the
+/// reference DataFrame's) and parses a bounded number of rows per call,
+/// so a serving pipeline can start scoring long before EOF and its
+/// memory stays proportional to the chunk size. The stream must carry
+/// every schema column: matched by header name when options.has_header
+/// is true (extra stream columns are ignored), positionally otherwise.
+/// Numeric cells must parse as doubles; empty numeric cells map to
+/// options.missing_numeric.
+class CsvChunkReader {
+ public:
+  /// Reads from `in` (not owned; must outlive the reader) rows shaped
+  /// like `schema`.
+  CsvChunkReader(std::istream* in, Schema schema,
+                 CsvOptions options = CsvOptions());
+
+  /// Parses up to `max_rows` data rows into a DataFrame with exactly
+  /// the schema's columns in schema order. Returns a 0-row frame at end
+  /// of stream; InvalidArgument on ragged rows, unparseable numeric
+  /// cells, or a header missing schema columns.
+  StatusOr<DataFrame> ReadChunk(size_t max_rows);
+
+  /// Data rows successfully returned so far (header excluded).
+  size_t rows_read() const { return rows_read_; }
+
+  const Schema& schema() const { return schema_; }
+
+ private:
+  Status ReadHeader();
+
+  std::istream* in_;
+  Schema schema_;
+  CsvOptions options_;
+  std::vector<size_t> col_map_;  // schema index -> stream field index
+  size_t stream_columns_ = 0;
+  bool header_done_ = false;
+  size_t rows_read_ = 0;
+};
 
 /// Writes a DataFrame as CSV (header row + data rows). Fields containing
 /// the delimiter, quotes, or newlines are quoted.

@@ -1,0 +1,190 @@
+#include "stream/pipeline.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/bounded_queue.h"
+
+namespace ccs::stream {
+
+using common::BoundedQueue;
+using core::WindowScore;
+using dataframe::DataFrame;
+
+StatusOr<StreamPipeline> StreamPipeline::Create(const DataFrame& reference,
+                                                StreamPipelineOptions options) {
+  if (options.window_rows == 0) {
+    return Status::InvalidArgument("StreamPipeline: window_rows must be >= 1");
+  }
+  if (options.slide_rows > options.window_rows) {
+    return Status::InvalidArgument(
+        "StreamPipeline: slide_rows must not exceed window_rows");
+  }
+  if (options.chunk_rows == 0) options.chunk_rows = 1;
+  if (options.queue_capacity == 0) options.queue_capacity = 1;
+  if (options.max_batch_windows == 0) options.max_batch_windows = 1;
+
+  CCS_ASSIGN_OR_RETURN(
+      core::StreamMonitor monitor,
+      core::StreamMonitor::Create(reference, options.alarm_threshold,
+                                  options.synthesis));
+  std::vector<std::string> numeric_names = reference.NumericNames();
+  if (numeric_names.empty()) {
+    return Status::InvalidArgument(
+        "StreamPipeline: reference has no numeric attributes");
+  }
+  core::IncrementalSynthesizer profile(numeric_names, options.synthesis);
+  if (options.refresh_every > 0) {
+    // Seed the streaming Gram state with the reference, so the first
+    // refresh profiles reference + everything scored so far.
+    CCS_RETURN_IF_ERROR(profile.ObserveAll(reference));
+  }
+  return StreamPipeline(std::move(monitor), std::move(profile),
+                        reference.schema(), options);
+}
+
+Status StreamPipeline::CommitBatch(
+    std::vector<DataFrame> batch,
+    const std::function<void(const WindowScore&)>& on_score,
+    PipelineStats* stats) {
+  CCS_ASSIGN_OR_RETURN(
+      std::vector<WindowScore> scores,
+      monitor_.ObserveWindows(batch, options_.num_threads));
+  for (const WindowScore& score : scores) {
+    ++stats->windows_scored;
+    if (score.alarm) ++stats->alarms;
+    if (on_score) on_score(score);
+  }
+  if (options_.refresh_every == 0) return Status::OK();
+  // Fold the scored rows into the streaming Gram state in window order
+  // (deterministic: the fold order and the refresh index depend only on
+  // the stream, never on thread scheduling). With sliding windows the
+  // overlap is re-observed, weighting recent rows — acceptable for a
+  // drift profile and documented in docs/streaming.md.
+  for (const DataFrame& window : batch) {
+    CCS_RETURN_IF_ERROR(profile_.ObserveAll(window));
+  }
+  // Cadence counts the monitor's whole history, not this Run's windows,
+  // so a stream served in segments refreshes at the same absolute window
+  // indices as the same stream served in one Run.
+  if (monitor_.history().size() % options_.refresh_every == 0) {
+    CCS_ASSIGN_OR_RETURN(core::SimpleConstraint refreshed,
+                         profile_.Synthesize());
+    CCS_RETURN_IF_ERROR(monitor_.RefreshReference(refreshed));
+    ++stats->refreshes;
+  }
+  return Status::OK();
+}
+
+StatusOr<PipelineStats> StreamPipeline::Run(
+    std::istream& in,
+    const std::function<void(const WindowScore&)>& on_score,
+    const dataframe::CsvOptions& csv_options) {
+  PipelineStats stats;
+  auto start = std::chrono::steady_clock::now();
+
+  BoundedQueue<DataFrame> chunk_queue(options_.queue_capacity);
+  BoundedQueue<DataFrame> window_queue(options_.queue_capacity);
+
+  // ---- Stage 1: ingest. Parses schema-shaped chunks until EOF; each
+  // Push blocks while the windowing stage is behind (backpressure).
+  Status ingest_status;
+  size_t rows_ingested = 0;
+  std::thread ingest([&] {
+    dataframe::CsvChunkReader reader(&in, schema_, csv_options);
+    for (;;) {
+      StatusOr<DataFrame> chunk = reader.ReadChunk(options_.chunk_rows);
+      if (!chunk.ok()) {
+        ingest_status = std::move(chunk).status();
+        break;
+      }
+      if (chunk->num_rows() == 0) break;  // End of stream.
+      rows_ingested += chunk->num_rows();
+      if (!chunk_queue.Push(std::move(*chunk))) break;  // Cancelled.
+    }
+    chunk_queue.Close();
+  });
+
+  // ---- Stage 2: windowing. Reassembles chunks into windows; emits in
+  // stream order into the (bounded) window queue.
+  Status window_status;
+  std::thread windowing([&] {
+    StatusOr<Windower> windower =
+        Windower::Create(options_.window_rows, options_.slide_rows);
+    if (!windower.ok()) {
+      window_status = windower.status();
+    } else {
+      while (std::optional<DataFrame> chunk = chunk_queue.Pop()) {
+        StatusOr<std::vector<DataFrame>> windows = windower->Push(*chunk);
+        if (!windows.ok()) {
+          window_status = std::move(windows).status();
+          break;
+        }
+        for (DataFrame& w : *windows) {
+          if (!window_queue.Push(std::move(w))) {
+            window_status = Status::OK();  // Cancelled downstream; not an error.
+            goto done;
+          }
+        }
+      }
+    }
+  done:
+    // On error, also unblock the ingest stage (its Push would otherwise
+    // wait forever on a full chunk queue).
+    chunk_queue.Close();
+    window_queue.Close();
+  });
+
+  // ---- Stage 3: scoring + ordered commit on the calling thread. Drains
+  // every ready window (never blocking past the first), capped at the
+  // batch limit and at the next refresh boundary, then scores the batch
+  // over the pool and commits in arrival order.
+  Status commit_status;
+  while (std::optional<DataFrame> first = window_queue.Pop()) {
+    std::vector<DataFrame> batch;
+    batch.push_back(std::move(*first));
+    size_t cap = options_.max_batch_windows;
+    if (options_.refresh_every > 0) {
+      // Never score past a refresh boundary: windows after it must see
+      // the refreshed profile.
+      size_t until_refresh =
+          options_.refresh_every -
+          monitor_.history().size() % options_.refresh_every;
+      if (until_refresh < cap) cap = until_refresh;
+    }
+    while (batch.size() < cap) {
+      std::optional<DataFrame> next = window_queue.TryPop();
+      if (!next) break;
+      batch.push_back(std::move(*next));
+    }
+    commit_status = CommitBatch(std::move(batch), on_score, &stats);
+    if (!commit_status.ok()) {
+      // Cancel upstream: producers' blocked Push calls return false.
+      chunk_queue.Close();
+      window_queue.Close();
+      break;
+    }
+  }
+
+  ingest.join();
+  windowing.join();
+
+  CCS_RETURN_IF_ERROR(ingest_status);
+  CCS_RETURN_IF_ERROR(window_status);
+  CCS_RETURN_IF_ERROR(commit_status);
+
+  stats.rows_ingested = rows_ingested;
+  stats.chunk_queue_peak = chunk_queue.peak_depth();
+  stats.window_queue_peak = window_queue.peak_depth();
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stats.rows_per_second = stats.elapsed_seconds > 0.0
+                              ? static_cast<double>(stats.rows_ingested) /
+                                    stats.elapsed_seconds
+                              : 0.0;
+  return stats;
+}
+
+}  // namespace ccs::stream

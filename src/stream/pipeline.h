@@ -1,0 +1,133 @@
+// StreamPipeline: the end-to-end streaming-serving engine.
+//
+// Three concurrent stages connected by bounded queues (blocking push =
+// backpressure, so a fast parser can never buffer an unbounded stream):
+//
+//   ingest (thread)     CsvChunkReader parses schema-shaped row chunks
+//      │  BoundedQueue<DataFrame>
+//   windowing (thread)  Windower completes tumbling/sliding windows
+//      │  BoundedQueue<DataFrame>
+//   scoring + commit    the calling thread drains ready windows, scores
+//   (caller + pool)     them with StreamMonitor::ObserveWindows (fanned
+//                       out over common::ParallelFor's pool lanes), and
+//                       commits WindowScores strictly in arrival order;
+//                       every `refresh_every` windows it folds the scored
+//                       rows into an IncrementalSynthesizer and swaps the
+//                       reference profile (§4.3.2 streaming Gram sum).
+//
+// Determinism: window contents depend only on the row stream (Windower),
+// per-window scores are pure functions of (profile, window), batches
+// never span a refresh boundary, and refreshes happen at fixed window
+// indices with rows ingested in window order — so the committed
+// WindowScore history is bitwise identical to a serial ObserveWindow
+// loop with the same refresh cadence, at any thread count (see
+// docs/streaming.md and the equivalence test in tests/stream_test.cc).
+
+#ifndef CCS_STREAM_PIPELINE_H_
+#define CCS_STREAM_PIPELINE_H_
+
+#include <functional>
+#include <istream>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/monitor.h"
+#include "core/synthesizer.h"
+#include "dataframe/csv.h"
+#include "dataframe/dataframe.h"
+#include "stream/windower.h"
+
+namespace ccs::stream {
+
+/// Tuning knobs for StreamPipeline.
+struct StreamPipelineOptions {
+  /// Rows per scored window.
+  size_t window_rows = 256;
+  /// Rows the window advances per step; 0 = tumbling (= window_rows).
+  size_t slide_rows = 0;
+  /// Windows scoring above this raise an alarm (in [0, 1]).
+  double alarm_threshold = 0.05;
+  /// Swap the reference profile after every this many windows; 0 never
+  /// refreshes (the profile stays the one learned from the reference).
+  size_t refresh_every = 0;
+  /// Scoring lanes for the batch scorer; 0 = DefaultThreadCount(). Never
+  /// changes the scores, only the wall clock.
+  size_t num_threads = 0;
+  /// Rows per ingest chunk (parse granularity, not window geometry).
+  size_t chunk_rows = 1024;
+  /// Capacity of each inter-stage queue, in chunks / windows. This bounds
+  /// how far ingest can run ahead of scoring.
+  size_t queue_capacity = 4;
+  /// Upper bound on windows scored per batch (one ObserveWindows call).
+  size_t max_batch_windows = 32;
+  /// Constraint-synthesis configuration for the reference profile and
+  /// its refreshes.
+  core::SynthesisOptions synthesis;
+};
+
+/// Counters describing one Run (all zero on a stream with no windows).
+struct PipelineStats {
+  size_t rows_ingested = 0;
+  size_t windows_scored = 0;
+  size_t alarms = 0;
+  size_t refreshes = 0;
+  /// High-water marks of the two queues: how deep backpressure buffered.
+  size_t chunk_queue_peak = 0;
+  size_t window_queue_peak = 0;
+  double elapsed_seconds = 0.0;
+  /// rows_ingested / elapsed_seconds.
+  double rows_per_second = 0.0;
+};
+
+/// Pipelined, backpressured serving loop over a streamed CSV.
+class StreamPipeline {
+ public:
+  /// Learns the initial reference profile from `reference` (whose schema
+  /// also types the stream) and validates `options`.
+  static StatusOr<StreamPipeline> Create(const dataframe::DataFrame& reference,
+                                         StreamPipelineOptions options);
+
+  /// Runs ingest -> windowing -> scoring over `in` until end of stream
+  /// or first error (a failing stage cancels the others). `on_score`,
+  /// when set, is invoked on the calling thread once per window in
+  /// commit order. Run may be called again to continue the monitor,
+  /// profile, and refresh cadence (which counts the whole history) over
+  /// another stream segment; windowing state does not carry across
+  /// calls.
+  StatusOr<PipelineStats> Run(
+      std::istream& in,
+      const std::function<void(const core::WindowScore&)>& on_score = nullptr,
+      const dataframe::CsvOptions& csv_options = dataframe::CsvOptions());
+
+  /// The monitor accumulating the score history across Run calls.
+  const core::StreamMonitor& monitor() const { return monitor_; }
+
+  /// All committed scores, in arrival order.
+  const std::vector<core::WindowScore>& history() const {
+    return monitor_.history();
+  }
+
+ private:
+  StreamPipeline(core::StreamMonitor monitor,
+                 core::IncrementalSynthesizer profile,
+                 dataframe::Schema schema, StreamPipelineOptions options)
+      : monitor_(std::move(monitor)),
+        profile_(std::move(profile)),
+        schema_(std::move(schema)),
+        options_(options) {}
+
+  // Scores `batch` (never spanning a refresh boundary), commits in
+  // order, feeds the profile, and refreshes it at the cadence boundary.
+  Status CommitBatch(std::vector<dataframe::DataFrame> batch,
+                     const std::function<void(const core::WindowScore&)>& on_score,
+                     PipelineStats* stats);
+
+  core::StreamMonitor monitor_;
+  core::IncrementalSynthesizer profile_;
+  dataframe::Schema schema_;
+  StreamPipelineOptions options_;
+};
+
+}  // namespace ccs::stream
+
+#endif  // CCS_STREAM_PIPELINE_H_

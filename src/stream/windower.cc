@@ -1,0 +1,35 @@
+#include "stream/windower.h"
+
+namespace ccs::stream {
+
+StatusOr<Windower> Windower::Create(size_t window_rows, size_t slide_rows) {
+  if (window_rows == 0) {
+    return Status::InvalidArgument("Windower: window_rows must be >= 1");
+  }
+  if (slide_rows == 0) slide_rows = window_rows;  // Tumbling.
+  if (slide_rows > window_rows) {
+    return Status::InvalidArgument(
+        "Windower: slide_rows must not exceed window_rows");
+  }
+  return Windower(window_rows, slide_rows);
+}
+
+StatusOr<std::vector<dataframe::DataFrame>> Windower::Push(
+    const dataframe::DataFrame& chunk) {
+  if (chunk.num_rows() > 0) {
+    if (buffer_.num_rows() == 0 && buffer_.num_columns() == 0) {
+      buffer_ = chunk;
+    } else {
+      CCS_ASSIGN_OR_RETURN(buffer_, buffer_.Concat(chunk));
+    }
+  }
+  std::vector<dataframe::DataFrame> windows;
+  while (buffer_.num_rows() >= window_rows_) {
+    windows.push_back(buffer_.Slice(0, window_rows_));
+    buffer_ = buffer_.Slice(slide_rows_, buffer_.num_rows());
+    ++windows_emitted_;
+  }
+  return windows;
+}
+
+}  // namespace ccs::stream

@@ -1,0 +1,59 @@
+// Windower: assembles fixed-size row windows from streamed chunks.
+//
+// The streaming pipeline ingests a CSV in bounded chunks whose sizes are
+// an I/O detail; the serving loop scores fixed-size windows. Windower
+// bridges the two: chunks go in, every window they complete comes out,
+// independent of how chunk boundaries fall. Tumbling windows
+// (slide == window) partition the stream; sliding windows (slide <
+// window) overlap, re-scoring recent rows each step. A trailing partial
+// window at end of stream is never emitted (it would score a different
+// population than every other window).
+
+#ifndef CCS_STREAM_WINDOWER_H_
+#define CCS_STREAM_WINDOWER_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "dataframe/dataframe.h"
+
+namespace ccs::stream {
+
+/// Reassembles a chunked row stream into overlapping or tumbling
+/// windows. Deterministic: the emitted windows depend only on the
+/// concatenated row stream, never on the chunking.
+class Windower {
+ public:
+  /// Windows of `window_rows` rows, advancing `slide_rows` per window.
+  /// `slide_rows` = 0 means tumbling (= window_rows). InvalidArgument
+  /// unless 1 <= slide_rows <= window_rows.
+  static StatusOr<Windower> Create(size_t window_rows, size_t slide_rows = 0);
+
+  /// Appends a chunk (its schema must match earlier chunks) and returns
+  /// every window it completes, oldest first. Empty chunks are allowed
+  /// and complete nothing.
+  StatusOr<std::vector<dataframe::DataFrame>> Push(
+      const dataframe::DataFrame& chunk);
+
+  size_t window_rows() const { return window_rows_; }
+  size_t slide_rows() const { return slide_rows_; }
+
+  /// Rows buffered awaiting a full window.
+  size_t buffered_rows() const { return buffer_.num_rows(); }
+
+  /// Total windows emitted so far.
+  size_t windows_emitted() const { return windows_emitted_; }
+
+ private:
+  Windower(size_t window_rows, size_t slide_rows)
+      : window_rows_(window_rows), slide_rows_(slide_rows) {}
+
+  size_t window_rows_;
+  size_t slide_rows_;
+  dataframe::DataFrame buffer_;
+  size_t windows_emitted_ = 0;
+};
+
+}  // namespace ccs::stream
+
+#endif  // CCS_STREAM_WINDOWER_H_

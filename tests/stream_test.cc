@@ -1,0 +1,581 @@
+// Tests for the streaming-serving subsystem: BoundedQueue backpressure
+// semantics, Windower reassembly, CsvChunkReader, the StreamMonitor
+// refresh hook, IncrementalSynthesizer::Merge, and the StreamPipeline
+// serial-equivalence contract (bitwise-identical WindowScore history at
+// any thread count).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "core/monitor.h"
+#include "dataframe/csv.h"
+#include "stream/pipeline.h"
+#include "stream/windower.h"
+
+namespace ccs::stream {
+namespace {
+
+using common::BoundedQueue;
+using core::IncrementalSynthesizer;
+using core::StreamMonitor;
+using core::WindowScore;
+using dataframe::DataFrame;
+
+// y = x + noise, shifted off-trend by `offset` on y from row `drift_from`.
+DataFrame TrendFrame(size_t n, double offset, uint64_t seed,
+                     size_t drift_from = 0) {
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-5.0, 5.0);
+    y[i] = x[i] + (i >= drift_from ? offset : 0.0) + rng.Gaussian(0.0, 0.1);
+  }
+  DataFrame df;
+  CCS_CHECK(df.AddNumericColumn("x", std::move(x)).ok());
+  CCS_CHECK(df.AddNumericColumn("y", std::move(y)).ok());
+  return df;
+}
+
+std::string ToCsv(const DataFrame& df) {
+  std::ostringstream out;
+  CCS_CHECK(dataframe::WriteCsv(df, out).ok());
+  return out.str();
+}
+
+// ---------------------------- BoundedQueue ----------------------------
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.Pop(), i);
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, BackpressureBoundsDepth) {
+  // A producer far faster than the consumer must never buffer more than
+  // the capacity: Push blocks instead.
+  BoundedQueue<int> q(2);
+  std::thread producer([&] {
+    for (int i = 0; i < 50; ++i) EXPECT_TRUE(q.Push(i));
+    q.Close();
+  });
+  int popped = 0;
+  while (q.Pop().has_value()) ++popped;
+  producer.join();
+  EXPECT_EQ(popped, 50);
+  EXPECT_LE(q.peak_depth(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // Refused after close...
+  EXPECT_EQ(q.Pop(), 1);    // ...but buffered elements drain.
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksFullPush) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(0));  // Queue now full.
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result = q.Push(1);  // Blocks until Close.
+    push_returned = true;
+  });
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(push_returned);
+  EXPECT_FALSE(push_result);
+}
+
+TEST(BoundedQueueTest, MultiProducerDeliversEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 100;
+  BoundedQueue<int> q(3);
+  std::vector<std::thread> producers;
+  std::atomic<int> live{kProducers};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.Push(p * kPerProducer + i));
+      }
+      if (--live == 0) q.Close();
+    });
+  }
+  std::multiset<int> seen;
+  while (auto v = q.Pop()) seen.insert(*v);
+  for (auto& t : producers) t.join();
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  for (int v = 0; v < kProducers * kPerProducer; ++v) {
+    EXPECT_EQ(seen.count(v), 1u) << v;
+  }
+}
+
+// ------------------------------ Windower ------------------------------
+
+TEST(WindowerTest, RejectsBadGeometry) {
+  EXPECT_FALSE(Windower::Create(0).ok());
+  EXPECT_FALSE(Windower::Create(10, 11).ok());
+  EXPECT_TRUE(Windower::Create(10, 10).ok());
+  EXPECT_TRUE(Windower::Create(10).ok());  // slide 0 = tumbling
+}
+
+TEST(WindowerTest, TumblingWindowsIgnoreChunkBoundaries) {
+  DataFrame df = TrendFrame(100, 0.0, 1);
+  auto windower = Windower::Create(30);
+  ASSERT_TRUE(windower.ok());
+  std::vector<DataFrame> all;
+  // Feed in awkward chunk sizes: 7, 7, ..., then the rest.
+  for (size_t begin = 0; begin < 100; begin += 7) {
+    auto out = windower->Push(df.Slice(begin, std::min<size_t>(begin + 7, 100)));
+    ASSERT_TRUE(out.ok());
+    for (auto& w : *out) all.push_back(std::move(w));
+  }
+  ASSERT_EQ(all.size(), 3u);  // 100 rows / 30 = 3 full windows; 10 left.
+  EXPECT_EQ(windower->buffered_rows(), 10u);
+  EXPECT_EQ(windower->windows_emitted(), 3u);
+  for (size_t w = 0; w < 3; ++w) {
+    ASSERT_EQ(all[w].num_rows(), 30u);
+    for (size_t r = 0; r < 30; ++r) {
+      EXPECT_EQ(all[w].NumericValue(r, "x").value(),
+                df.NumericValue(w * 30 + r, "x").value());
+    }
+  }
+}
+
+TEST(WindowerTest, SlidingWindowsOverlap) {
+  DataFrame df = TrendFrame(25, 0.0, 2);
+  auto windower = Windower::Create(10, 5);
+  ASSERT_TRUE(windower.ok());
+  auto out = windower->Push(df);
+  ASSERT_TRUE(out.ok());
+  // Windows start at rows 0, 5, 10; row 15 would need rows 15..24 (OK)
+  // -> starts 0,5,10,15. 4 windows.
+  ASSERT_EQ(out->size(), 4u);
+  for (size_t w = 0; w < out->size(); ++w) {
+    for (size_t r = 0; r < 10; ++r) {
+      EXPECT_EQ((*out)[w].NumericValue(r, "y").value(),
+                df.NumericValue(w * 5 + r, "y").value());
+    }
+  }
+}
+
+TEST(WindowerTest, EmptyChunkCompletesNothing) {
+  auto windower = Windower::Create(4);
+  ASSERT_TRUE(windower.ok());
+  auto out = windower->Push(DataFrame());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+// ---------------------------- CsvChunkReader --------------------------
+
+TEST(CsvChunkReaderTest, ChunksConcatenateToWholeFile) {
+  DataFrame df = TrendFrame(57, 0.0, 3);
+  CCS_CHECK(df.AddCategoricalColumn(
+                  "label", std::vector<std::string>(57, "a"))
+                .ok());
+  std::string text = ToCsv(df);
+
+  std::istringstream whole_in(text);
+  auto whole = dataframe::ReadCsv(whole_in);
+  ASSERT_TRUE(whole.ok());
+
+  std::istringstream chunk_in(text);
+  dataframe::CsvChunkReader reader(&chunk_in, whole->schema());
+  DataFrame got;
+  for (;;) {
+    auto chunk = reader.ReadChunk(10);
+    ASSERT_TRUE(chunk.ok()) << chunk.status();
+    if (chunk->num_rows() == 0) break;
+    if (got.num_columns() == 0) {
+      got = std::move(*chunk);
+    } else {
+      auto merged = got.Concat(*chunk);
+      ASSERT_TRUE(merged.ok());
+      got = std::move(*merged);
+    }
+  }
+  EXPECT_EQ(reader.rows_read(), 57u);
+  ASSERT_EQ(got.num_rows(), whole->num_rows());
+  ASSERT_TRUE(got.schema() == whole->schema());
+  for (size_t r = 0; r < got.num_rows(); ++r) {
+    EXPECT_EQ(got.NumericValue(r, "x").value(),
+              whole->NumericValue(r, "x").value());
+    EXPECT_EQ(got.CategoricalValue(r, "label").value(),
+              whole->CategoricalValue(r, "label").value());
+  }
+}
+
+TEST(CsvChunkReaderTest, ReordersAndIgnoresExtraColumns) {
+  dataframe::Schema schema;
+  CCS_CHECK(schema.AddAttribute("b", dataframe::AttributeType::kNumeric).ok());
+  CCS_CHECK(
+      schema.AddAttribute("a", dataframe::AttributeType::kCategorical).ok());
+  std::istringstream in("a,junk,b\nu,9,1.5\nv,9,2.5\n");
+  dataframe::CsvChunkReader reader(&in, schema);
+  auto chunk = reader.ReadChunk(100);
+  ASSERT_TRUE(chunk.ok()) << chunk.status();
+  ASSERT_EQ(chunk->num_rows(), 2u);
+  EXPECT_EQ(chunk->NumericValue(0, "b").value(), 1.5);
+  EXPECT_EQ(chunk->CategoricalValue(1, "a").value(), "v");
+}
+
+TEST(CsvChunkReaderTest, MissingSchemaColumnIsError) {
+  dataframe::Schema schema;
+  CCS_CHECK(schema.AddAttribute("x", dataframe::AttributeType::kNumeric).ok());
+  CCS_CHECK(schema.AddAttribute("y", dataframe::AttributeType::kNumeric).ok());
+  std::istringstream in("x\n1\n");
+  dataframe::CsvChunkReader reader(&in, schema);
+  auto chunk = reader.ReadChunk(10);
+  ASSERT_FALSE(chunk.ok());
+  EXPECT_EQ(chunk.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvChunkReaderTest, UnparseableNumericCellIsError) {
+  dataframe::Schema schema;
+  CCS_CHECK(schema.AddAttribute("x", dataframe::AttributeType::kNumeric).ok());
+  std::istringstream in("x\n1.0\noops\n");
+  dataframe::CsvChunkReader reader(&in, schema);
+  auto chunk = reader.ReadChunk(10);
+  ASSERT_FALSE(chunk.ok());
+  EXPECT_EQ(chunk.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvChunkReaderTest, HeaderlessMapsPositionally) {
+  dataframe::Schema schema;
+  CCS_CHECK(schema.AddAttribute("x", dataframe::AttributeType::kNumeric).ok());
+  CCS_CHECK(
+      schema.AddAttribute("tag", dataframe::AttributeType::kCategorical).ok());
+  dataframe::CsvOptions options;
+  options.has_header = false;
+  std::istringstream in("1.25,hot\n2.5,cold\n");
+  dataframe::CsvChunkReader reader(&in, schema, options);
+  auto chunk = reader.ReadChunk(10);
+  ASSERT_TRUE(chunk.ok()) << chunk.status();
+  ASSERT_EQ(chunk->num_rows(), 2u);
+  EXPECT_EQ(chunk->NumericValue(1, "x").value(), 2.5);
+  EXPECT_EQ(chunk->CategoricalValue(0, "tag").value(), "hot");
+}
+
+// --------------------- StreamMonitor empty window ---------------------
+
+TEST(StreamMonitorTest, EmptyWindowIsCleanInvalidArgument) {
+  DataFrame reference = TrendFrame(100, 0.0, 4);
+  auto monitor = StreamMonitor::Create(reference, 0.1);
+  ASSERT_TRUE(monitor.ok());
+
+  auto score = monitor->ObserveWindow(reference.Slice(0, 0));
+  ASSERT_FALSE(score.ok());
+  EXPECT_EQ(score.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(score.status().message().find("empty window"), std::string::npos);
+  EXPECT_TRUE(monitor->history().empty());  // History not advanced.
+
+  auto batch = monitor->ObserveWindows({reference.Slice(0, 10),
+                                        reference.Slice(0, 0)});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(monitor->history().empty());
+}
+
+// ------------------------ RefreshReference hook ------------------------
+
+TEST(StreamMonitorTest, RefreshReferenceSwapsProfile) {
+  DataFrame reference = TrendFrame(300, 0.0, 5);
+  DataFrame drifted = TrendFrame(300, 6.0, 6);
+  auto monitor = StreamMonitor::Create(reference, 0.3);
+  ASSERT_TRUE(monitor.ok());
+
+  auto before = monitor->ObserveWindow(drifted);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->alarm);
+
+  // Re-profile on the drifted distribution and swap it in: the same
+  // window must now conform.
+  IncrementalSynthesizer profile({"x", "y"});
+  ASSERT_TRUE(profile.ObserveAll(drifted).ok());
+  auto refreshed = profile.Synthesize();
+  ASSERT_TRUE(refreshed.ok());
+  ASSERT_TRUE(monitor->RefreshReference(*refreshed).ok());
+
+  auto after = monitor->ObserveWindow(drifted);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->alarm);
+  EXPECT_LT(after->drift, before->drift);
+  // History and threshold survive the swap.
+  ASSERT_EQ(monitor->history().size(), 2u);
+  EXPECT_EQ(monitor->history()[1].window_index, 1u);
+}
+
+TEST(StreamMonitorTest, RefreshReferenceRejectsEmptyConstraint) {
+  DataFrame reference = TrendFrame(50, 0.0, 7);
+  auto monitor = StreamMonitor::Create(reference, 0.1);
+  ASSERT_TRUE(monitor.ok());
+  EXPECT_EQ(monitor->RefreshReference(core::SimpleConstraint()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ----------------------- IncrementalSynthesizer -----------------------
+
+TEST(IncrementalSynthesizerTest, MergeEmptyOtherIsNoOp) {
+  DataFrame df = TrendFrame(120, 0.0, 8);
+  IncrementalSynthesizer a({"x", "y"});
+  ASSERT_TRUE(a.ObserveAll(df).ok());
+  auto before = a.Synthesize();
+  ASSERT_TRUE(before.ok());
+
+  IncrementalSynthesizer empty({"x", "y"});
+  ASSERT_TRUE(a.Merge(empty).ok());
+  EXPECT_EQ(a.count(), 120);
+  auto after = a.Synthesize();
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(core::ConstraintsBitwiseEqual(*before, *after));
+}
+
+TEST(IncrementalSynthesizerTest, ManyWayMergeMatchesWholeIngestion) {
+  // Partition-parallel ingestion: four shards accumulated independently
+  // then merged must profile like one accumulator fed everything.
+  DataFrame df = TrendFrame(400, 0.0, 9);
+  IncrementalSynthesizer whole({"x", "y"});
+  ASSERT_TRUE(whole.ObserveAll(df).ok());
+
+  IncrementalSynthesizer merged({"x", "y"});
+  for (size_t begin = 0; begin < 400; begin += 100) {
+    IncrementalSynthesizer shard({"x", "y"});
+    ASSERT_TRUE(shard.ObserveAll(df.Slice(begin, begin + 100)).ok());
+    ASSERT_TRUE(merged.Merge(shard).ok());
+  }
+  EXPECT_EQ(merged.count(), whole.count());
+
+  auto a = whole.Synthesize();
+  auto b = merged.Synthesize();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->conjuncts().size(), b->conjuncts().size());
+  for (size_t k = 0; k < a->conjuncts().size(); ++k) {
+    EXPECT_NEAR(a->conjuncts()[k].mean(), b->conjuncts()[k].mean(), 1e-9);
+    EXPECT_NEAR(a->conjuncts()[k].stddev(), b->conjuncts()[k].stddev(), 1e-9);
+    EXPECT_NEAR(a->conjuncts()[k].lb(), b->conjuncts()[k].lb(), 1e-9);
+    EXPECT_NEAR(a->conjuncts()[k].ub(), b->conjuncts()[k].ub(), 1e-9);
+  }
+}
+
+TEST(IncrementalSynthesizerTest, SynthesizeWithNoObservationsFails) {
+  IncrementalSynthesizer empty({"x", "y"});
+  EXPECT_FALSE(empty.Synthesize().ok());
+}
+
+// --------------------------- StreamPipeline ---------------------------
+
+// The serial reference implementation the pipeline must match bitwise:
+// parse everything, window it, ObserveWindow each window in order, and
+// mirror the pipeline's refresh cadence.
+std::vector<WindowScore> SerialLoop(const DataFrame& reference,
+                                    const std::string& csv_text,
+                                    const StreamPipelineOptions& options) {
+  auto monitor = StreamMonitor::Create(reference, options.alarm_threshold,
+                                       options.synthesis);
+  CCS_CHECK(monitor.ok());
+  IncrementalSynthesizer profile(reference.NumericNames(), options.synthesis);
+  if (options.refresh_every > 0) {
+    CCS_CHECK(profile.ObserveAll(reference).ok());
+  }
+  std::istringstream in(csv_text);
+  auto stream_df = dataframe::ReadCsv(in);
+  CCS_CHECK(stream_df.ok());
+  auto windower = Windower::Create(options.window_rows, options.slide_rows);
+  CCS_CHECK(windower.ok());
+  auto windows = windower->Push(*stream_df);
+  CCS_CHECK(windows.ok());
+  size_t scored = 0;
+  for (const DataFrame& window : *windows) {
+    CCS_CHECK(monitor->ObserveWindow(window).ok());
+    ++scored;
+    if (options.refresh_every > 0) {
+      CCS_CHECK(profile.ObserveAll(window).ok());
+      if (scored % options.refresh_every == 0) {
+        auto refreshed = profile.Synthesize();
+        CCS_CHECK(refreshed.ok());
+        CCS_CHECK(monitor->RefreshReference(*refreshed).ok());
+      }
+    }
+  }
+  return monitor->history();
+}
+
+void ExpectHistoriesBitwiseEqual(const std::vector<WindowScore>& a,
+                                 const std::vector<WindowScore>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].window_index, b[i].window_index) << "window " << i;
+    EXPECT_EQ(a[i].drift, b[i].drift) << "window " << i;  // Exact doubles.
+    EXPECT_EQ(a[i].alarm, b[i].alarm) << "window " << i;
+  }
+}
+
+class StreamPipelineTest : public ::testing::Test {
+ protected:
+  // Force multi-lane dispatch even on single-core machines.
+  void SetUp() override { common::SetDefaultThreadCount(4); }
+  void TearDown() override { common::SetDefaultThreadCount(0); }
+};
+
+TEST_F(StreamPipelineTest, MatchesSerialLoopBitwise) {
+  DataFrame reference = TrendFrame(400, 0.0, 10);
+  // Drift starts halfway through the stream.
+  std::string csv_text = ToCsv(TrendFrame(730, 6.0, 11, /*drift_from=*/365));
+
+  StreamPipelineOptions options;
+  options.window_rows = 50;
+  options.alarm_threshold = 0.2;
+  options.chunk_rows = 37;      // Deliberately window-misaligned.
+  options.queue_capacity = 2;   // Exercise backpressure.
+  options.max_batch_windows = 3;
+
+  std::vector<WindowScore> serial = SerialLoop(reference, csv_text, options);
+  ASSERT_FALSE(serial.empty());
+  // The scenario is meaningful: clean head, drifted tail.
+  EXPECT_FALSE(serial.front().alarm);
+  EXPECT_TRUE(serial.back().alarm);
+
+  for (size_t threads : {1u, 4u}) {
+    options.num_threads = threads;
+    auto pipeline = StreamPipeline::Create(reference, options);
+    ASSERT_TRUE(pipeline.ok());
+    std::istringstream in(csv_text);
+    size_t callbacks = 0;
+    auto stats = pipeline->Run(in, [&](const WindowScore&) { ++callbacks; });
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(stats->rows_ingested, 730u);
+    EXPECT_EQ(stats->windows_scored, serial.size());
+    EXPECT_EQ(callbacks, serial.size());
+    ExpectHistoriesBitwiseEqual(pipeline->history(), serial);
+  }
+}
+
+TEST_F(StreamPipelineTest, MatchesSerialLoopWithSlideAndRefresh) {
+  DataFrame reference = TrendFrame(300, 0.0, 12);
+  std::string csv_text = ToCsv(TrendFrame(600, 5.0, 13, /*drift_from=*/300));
+
+  StreamPipelineOptions options;
+  options.window_rows = 60;
+  options.slide_rows = 25;      // Sliding windows.
+  options.alarm_threshold = 0.25;
+  options.refresh_every = 3;    // Periodic incremental re-synthesis.
+  options.chunk_rows = 41;
+  options.queue_capacity = 2;
+  options.max_batch_windows = 4;
+
+  std::vector<WindowScore> serial = SerialLoop(reference, csv_text, options);
+  ASSERT_FALSE(serial.empty());
+
+  for (size_t threads : {1u, 4u}) {
+    options.num_threads = threads;
+    auto pipeline = StreamPipeline::Create(reference, options);
+    ASSERT_TRUE(pipeline.ok());
+    std::istringstream in(csv_text);
+    auto stats = pipeline->Run(in);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_GT(stats->refreshes, 0u);
+    ExpectHistoriesBitwiseEqual(pipeline->history(), serial);
+  }
+}
+
+TEST_F(StreamPipelineTest, HistoryContinuesAcrossRuns) {
+  DataFrame reference = TrendFrame(200, 0.0, 14);
+  DataFrame stream_df = TrendFrame(200, 0.0, 15);
+
+  StreamPipelineOptions options;
+  options.window_rows = 50;
+  auto pipeline = StreamPipeline::Create(reference, options);
+  ASSERT_TRUE(pipeline.ok());
+
+  // Two segments split on a window boundary score like one stream.
+  std::istringstream first(ToCsv(stream_df.Slice(0, 100)));
+  std::istringstream second(ToCsv(stream_df.Slice(100, 200)));
+  ASSERT_TRUE(pipeline->Run(first).ok());
+  ASSERT_TRUE(pipeline->Run(second).ok());
+  ASSERT_EQ(pipeline->history().size(), 4u);
+  EXPECT_EQ(pipeline->history()[3].window_index, 3u);
+}
+
+TEST_F(StreamPipelineTest, RefreshCadenceContinuesAcrossRuns) {
+  // The refresh cadence counts the whole history: a stream served in
+  // segments (split on a window boundary) must refresh at the same
+  // absolute window indices — and score identically — as one Run.
+  DataFrame reference = TrendFrame(300, 0.0, 18);
+  DataFrame stream_df = TrendFrame(300, 5.0, 19, /*drift_from=*/150);
+
+  StreamPipelineOptions options;
+  options.window_rows = 50;
+  options.alarm_threshold = 0.25;
+  options.refresh_every = 2;
+
+  auto whole = StreamPipeline::Create(reference, options);
+  ASSERT_TRUE(whole.ok());
+  std::istringstream whole_in(ToCsv(stream_df));
+  auto whole_stats = whole->Run(whole_in);
+  ASSERT_TRUE(whole_stats.ok());
+  ASSERT_EQ(whole_stats->refreshes, 3u);  // 6 windows / cadence 2.
+
+  auto segmented = StreamPipeline::Create(reference, options);
+  ASSERT_TRUE(segmented.ok());
+  size_t segmented_refreshes = 0;
+  // Segment boundary at 150 rows = 3 windows, mid-cadence after run 1's
+  // refresh at window 2: run 2 must refresh at windows 4 and 6.
+  for (size_t begin : {0u, 150u}) {
+    std::istringstream in(ToCsv(stream_df.Slice(begin, begin + 150)));
+    auto stats = segmented->Run(in);
+    ASSERT_TRUE(stats.ok());
+    segmented_refreshes += stats->refreshes;
+  }
+  EXPECT_EQ(segmented_refreshes, 3u);
+  ExpectHistoriesBitwiseEqual(segmented->history(), whole->history());
+}
+
+TEST_F(StreamPipelineTest, PropagatesIngestError) {
+  DataFrame reference = TrendFrame(100, 0.0, 16);
+  StreamPipelineOptions options;
+  options.window_rows = 10;
+  options.chunk_rows = 4;
+  auto pipeline = StreamPipeline::Create(reference, options);
+  ASSERT_TRUE(pipeline.ok());
+  // Row 30 is ragged; earlier full windows may or may not have been
+  // committed, but Run must surface the parse error.
+  std::ostringstream bad;
+  bad << "x,y\n";
+  for (int i = 0; i < 30; ++i) bad << i << "," << i << "\n";
+  bad << "7\n";
+  std::istringstream in(bad.str());
+  auto stats = pipeline->Run(in);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StreamPipelineTest, RejectsBadOptions) {
+  DataFrame reference = TrendFrame(50, 0.0, 17);
+  StreamPipelineOptions options;
+  options.window_rows = 0;
+  EXPECT_FALSE(StreamPipeline::Create(reference, options).ok());
+  options.window_rows = 10;
+  options.slide_rows = 20;
+  EXPECT_FALSE(StreamPipeline::Create(reference, options).ok());
+  options.slide_rows = 0;
+  options.alarm_threshold = 3.0;
+  EXPECT_FALSE(StreamPipeline::Create(reference, options).ok());
+}
+
+}  // namespace
+}  // namespace ccs::stream

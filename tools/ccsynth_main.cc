@@ -9,14 +9,23 @@
 //       unsafe fraction (exit code 2 if any tuple exceeds the threshold).
 //   ccsynth drift   <reference.csv> <window.csv> [<window.csv> ...]
 //       Quantify drift of each window against the reference.
+//   ccsynth monitor --reference <ref.csv> <stream.csv|-> [--window N]
+//                   [--slide M] [--threshold T] [--refresh-every K]
+//                   [--threads N] [--json]
+//       Tail a CSV stream through the pipelined serving engine: one
+//       score line per window (CSV or JSON lines), alarms when a window
+//       exceeds the threshold (exit code 2 if any fired), optional
+//       periodic incremental re-synthesis of the reference profile.
 //   ccsynth explain <train.csv> <serving.csv>
 //       Per-attribute responsibility for serving non-conformance.
 //   ccsynth diff    <a.csv> <b.csv>
 //       Dataset diff report (asymmetric violations, partitions, blame).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,6 +37,7 @@
 #include "core/serialize.h"
 #include "core/synthesizer.h"
 #include "dataframe/csv.h"
+#include "stream/pipeline.h"
 
 namespace {
 
@@ -40,11 +50,14 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ccsynth <learn|check|drift|explain|diff> ...\n"
+               "usage: ccsynth <learn|check|drift|monitor|explain|diff> ...\n"
                "  learn   <train.csv> [-o out.ccs] [--no-disjunctive]\n"
                "          [--bound-multiplier C] [--sql] [--pretty]\n"
                "  check   <constraints.ccs> <serving.csv> [--threshold T]\n"
                "  drift   <reference.csv> <window.csv>...\n"
+               "  monitor --reference <ref.csv> <stream.csv|-> [--window N]\n"
+               "          [--slide M] [--threshold T] [--refresh-every K]\n"
+               "          [--threads N] [--json]\n"
                "  explain <train.csv> <serving.csv>\n"
                "  diff    <a.csv> <b.csv>\n");
   return 1;
@@ -167,6 +180,101 @@ int RunDrift(const std::vector<std::string>& args) {
   return 0;
 }
 
+int RunMonitor(const std::vector<std::string>& args) {
+  std::string reference_path, stream_path;
+  bool emit_json = false;
+  stream::StreamPipelineOptions options;
+  options.alarm_threshold = 0.05;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto flag_value = [&](const char* name) -> const std::string* {
+      if (args[i] == name && i + 1 < args.size()) return &args[++i];
+      return nullptr;
+    };
+    if (const std::string* v = flag_value("--reference")) {
+      reference_path = *v;
+    } else if (const std::string* v = flag_value("--window")) {
+      auto n = ParseInt(*v);
+      if (!n.has_value() || *n <= 0) {
+        return Fail(Status::InvalidArgument("bad --window"));
+      }
+      options.window_rows = static_cast<size_t>(*n);
+    } else if (const std::string* v = flag_value("--slide")) {
+      auto n = ParseInt(*v);
+      if (!n.has_value() || *n <= 0) {
+        return Fail(Status::InvalidArgument("bad --slide"));
+      }
+      options.slide_rows = static_cast<size_t>(*n);
+    } else if (const std::string* v = flag_value("--threshold")) {
+      auto t = ParseDouble(*v);
+      if (!t.has_value()) return Fail(Status::InvalidArgument("bad --threshold"));
+      options.alarm_threshold = *t;
+    } else if (const std::string* v = flag_value("--refresh-every")) {
+      auto n = ParseInt(*v);
+      if (!n.has_value() || *n < 0) {
+        return Fail(Status::InvalidArgument("bad --refresh-every"));
+      }
+      options.refresh_every = static_cast<size_t>(*n);
+    } else if (const std::string* v = flag_value("--threads")) {
+      auto n = ParseInt(*v);
+      if (!n.has_value() || *n < 0) {
+        return Fail(Status::InvalidArgument("bad --threads"));
+      }
+      options.num_threads = static_cast<size_t>(*n);
+    } else if (args[i] == "--json") {
+      emit_json = true;
+    } else if (stream_path.empty() && !StartsWith(args[i], "--")) {
+      stream_path = args[i];
+    } else {
+      // Unknown flag, duplicate positional, or a flag missing its value.
+      return Usage();
+    }
+  }
+  if (reference_path.empty() || stream_path.empty()) return Usage();
+  // Tail semantics: parse no coarser than the window step, so on a live
+  // stream the first score appears as soon as its window is complete
+  // instead of after a full default-sized ingest chunk.
+  size_t step = options.slide_rows == 0 ? options.window_rows
+                                        : options.slide_rows;
+  options.chunk_rows = std::min(options.chunk_rows, step);
+
+  auto reference = Load(reference_path);
+  if (!reference.ok()) return Fail(reference.status());
+  auto pipeline = stream::StreamPipeline::Create(*reference, options);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+
+  std::ifstream file;
+  if (stream_path != "-") {
+    file.open(stream_path);
+    if (!file) return Fail(Status::IoError("cannot read " + stream_path));
+  }
+  std::istream& in = stream_path == "-" ? std::cin : file;
+
+  if (!emit_json) std::printf("window,drift,alarm\n");
+  auto emit = [emit_json](const core::WindowScore& score) {
+    if (emit_json) {
+      std::printf("{\"window\":%zu,\"drift\":%s,\"alarm\":%s}\n",
+                  score.window_index, FormatDouble(score.drift).c_str(),
+                  score.alarm ? "true" : "false");
+    } else {
+      std::printf("%zu,%s,%d\n", score.window_index,
+                  FormatDouble(score.drift).c_str(), score.alarm ? 1 : 0);
+    }
+    // Scores must reach a piped consumer as they happen, not when the
+    // (possibly endless) stream closes.
+    std::fflush(stdout);
+  };
+  auto stats = pipeline->Run(in, emit);
+  if (!stats.ok()) return Fail(stats.status());
+
+  std::fprintf(stderr,
+               "ccsynth: %zu rows -> %zu windows, %zu alarms, %zu refreshes "
+               "(%.0f rows/sec, queue peaks %zu/%zu)\n",
+               stats->rows_ingested, stats->windows_scored, stats->alarms,
+               stats->refreshes, stats->rows_per_second,
+               stats->chunk_queue_peak, stats->window_queue_peak);
+  return stats->alarms > 0 ? 2 : 0;
+}
+
 int RunExplain(const std::vector<std::string>& args) {
   if (args.size() != 2) return Usage();
   auto train = Load(args[0]);
@@ -204,6 +312,7 @@ int main(int argc, char** argv) {
   if (command == "learn") return RunLearn(args);
   if (command == "check") return RunCheck(args);
   if (command == "drift") return RunDrift(args);
+  if (command == "monitor") return RunMonitor(args);
   if (command == "explain") return RunExplain(args);
   if (command == "diff") return RunDiff(args);
   return Usage();
