@@ -168,16 +168,24 @@ StatusOr<linalg::Vector> DisjunctiveConstraint::ViolationAll(
   linalg::Vector out(df.num_rows(), 1.0);
   if (cases_.empty() || df.num_rows() == 0) return out;
 
-  // Group rows by switch value in one pass (one case lookup per row),
-  // then materialize one aligned matrix per case and score the whole
-  // group through the batched kernel. Mixed attribute orders across
-  // cases cost nothing extra — each group aligns independently, instead
-  // of re-simplifying and re-aligning per row.
+  // Group rows by switch value in one pass over the dictionary codes:
+  // the case map is consulted once per *distinct* value (dictionary
+  // entry), and the per-row loop compares integers — no string hashing.
+  // One aligned matrix is then materialized per case and scored through
+  // the batched kernel. Mixed attribute orders across cases cost nothing
+  // extra — each group aligns independently, instead of re-simplifying
+  // and re-aligning per row.
+  const std::vector<std::string>& dict = col->dictionary();
+  std::vector<const SimpleConstraint*> code_case(dict.size(), nullptr);
+  for (size_t c = 0; c < dict.size(); ++c) {
+    auto it = cases_.find(dict[c]);
+    if (it != cases_.end()) code_case[c] = &it->second;
+  }
   std::map<const SimpleConstraint*, std::vector<size_t>> groups;
   for (size_t i = 0; i < df.num_rows(); ++i) {
-    auto it = cases_.find(col->CategoricalAt(i));
-    if (it == cases_.end()) continue;
-    groups[&it->second].push_back(i);
+    const SimpleConstraint* constraint = code_case[col->CodeAt(i)];
+    if (constraint == nullptr) continue;
+    groups[constraint].push_back(i);
   }
   for (const auto& [constraint, rows] : groups) {
     CCS_ASSIGN_OR_RETURN(

@@ -42,11 +42,11 @@ StatusOr<dataframe::DataFrame> ExpandPolynomial(
       }
     }
   }
-  // Categorical attributes pass through for disjunctive synthesis.
+  // Categorical attributes pass through for disjunctive synthesis,
+  // sharing the source column's buffers (zero copy).
   for (const std::string& name : df.CategoricalNames()) {
     CCS_ASSIGN_OR_RETURN(const dataframe::Column* col, df.ColumnByName(name));
-    CCS_RETURN_IF_ERROR(
-        out.AddCategoricalColumn(name, col->categorical_data()));
+    CCS_RETURN_IF_ERROR(out.AddColumn(name, *col));
   }
   if (out.num_columns() == 0) {
     return Status::InvalidArgument(

@@ -153,7 +153,10 @@ StatusOr<DataFrame> ReadCsvFile(const std::string& path,
 
 CsvChunkReader::CsvChunkReader(std::istream* in, Schema schema,
                                CsvOptions options)
-    : in_(in), schema_(std::move(schema)), options_(options) {}
+    : in_(in),
+      schema_(std::move(schema)),
+      options_(options),
+      dicts_(schema_.num_attributes()) {}
 
 Status CsvChunkReader::ReadHeader() {
   col_map_.assign(schema_.num_attributes(), 0);
@@ -196,7 +199,7 @@ StatusOr<DataFrame> CsvChunkReader::ReadChunk(size_t max_rows) {
 
   const size_t m = schema_.num_attributes();
   std::vector<std::vector<double>> numeric(m);
-  std::vector<std::vector<std::string>> categorical(m);
+  std::vector<std::vector<uint32_t>> categorical(m);
 
   std::vector<std::string> record;
   size_t rows = 0;
@@ -227,7 +230,10 @@ StatusOr<DataFrame> CsvChunkReader::ReadChunk(size_t max_rows) {
         }
         numeric[i].push_back(*parsed);
       } else {
-        categorical[i].push_back(cell);
+        // Intern into the stream-lifetime dictionary: steady-state
+        // chunks share one dictionary object, so downstream code paths
+        // compare codes without consulting the strings.
+        categorical[i].push_back(dicts_[i].Intern(cell));
       }
     }
     ++rows;
@@ -240,8 +246,9 @@ StatusOr<DataFrame> CsvChunkReader::ReadChunk(size_t max_rows) {
       CCS_RETURN_IF_ERROR(
           df.AddNumericColumn(attr.name, std::move(numeric[i])));
     } else {
-      CCS_RETURN_IF_ERROR(
-          df.AddCategoricalColumn(attr.name, std::move(categorical[i])));
+      CCS_RETURN_IF_ERROR(df.AddColumn(
+          attr.name, Column::CategoricalFromCodes(std::move(categorical[i]),
+                                                  dicts_[i].snapshot())));
     }
   }
   rows_read_ += rows;

@@ -49,6 +49,12 @@ StatusOr<DataFrame> ReadCsvFile(const std::string& path,
 /// is true (extra stream columns are ignored), positionally otherwise.
 /// Numeric cells must parse as doubles; empty numeric cells map to
 /// options.missing_numeric.
+///
+/// Categorical cells are interned at parse time into a per-column
+/// dictionary that persists across chunks: once a stream's categorical
+/// domain has been seen, chunks share one dictionary object, so
+/// downstream consumers (Windower, PartitionBy, grouped scoring) compare
+/// integer codes and never re-hash strings.
 class CsvChunkReader {
  public:
   /// Reads from `in` (not owned; must outlive the reader) rows shaped
@@ -74,6 +80,9 @@ class CsvChunkReader {
   Schema schema_;
   CsvOptions options_;
   std::vector<size_t> col_map_;  // schema index -> stream field index
+  // One persistent interner per categorical schema slot (unused entries
+  // stay empty for numeric slots).
+  std::vector<DictionaryBuilder> dicts_;
   size_t stream_columns_ = 0;
   bool header_done_ = false;
   size_t rows_read_ = 0;

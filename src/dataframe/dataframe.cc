@@ -34,7 +34,15 @@ Status DataFrame::AddCategoricalColumn(const std::string& name,
   CCS_RETURN_IF_ERROR(CheckNewColumn(name, values.size()));
   num_rows_ = values.size();
   CCS_RETURN_IF_ERROR(schema_.AddAttribute(name, AttributeType::kCategorical));
-  columns_.push_back(Column::Categorical(std::move(values)));
+  columns_.push_back(Column::Categorical(values));
+  return Status::OK();
+}
+
+Status DataFrame::AddColumn(const std::string& name, Column column) {
+  CCS_RETURN_IF_ERROR(CheckNewColumn(name, column.size()));
+  num_rows_ = column.size();
+  CCS_RETURN_IF_ERROR(schema_.AddAttribute(name, column.type()));
+  columns_.push_back(std::move(column));
   return Status::OK();
 }
 
@@ -89,13 +97,20 @@ linalg::Matrix DataFrame::NumericMatrix() const {
 
 StatusOr<linalg::Matrix> DataFrame::NumericMatrixFor(
     const std::vector<std::string>& names) const {
+  // One pass per column over raw buffers: views gather through the
+  // selection vector directly instead of re-resolving it per cell.
   linalg::Matrix out(num_rows_, names.size());
   for (size_t j = 0; j < names.size(); ++j) {
     CCS_ASSIGN_OR_RETURN(const Column* col, ColumnByName(names[j]));
     if (!col->is_numeric()) {
       return Status::InvalidArgument("column is not numeric: " + names[j]);
     }
-    for (size_t i = 0; i < num_rows_; ++i) out.At(i, j) = col->NumericAt(i);
+    const std::vector<double>& buf = col->numeric_buffer();
+    if (const std::vector<size_t>* sel = col->selection()) {
+      for (size_t i = 0; i < num_rows_; ++i) out.At(i, j) = buf[(*sel)[i]];
+    } else {
+      for (size_t i = 0; i < num_rows_; ++i) out.At(i, j) = buf[i];
+    }
   }
   return out;
 }
@@ -109,11 +124,13 @@ StatusOr<linalg::Matrix> DataFrame::NumericMatrixFor(
     if (!col->is_numeric()) {
       return Status::InvalidArgument("column is not numeric: " + names[j]);
     }
+    const std::vector<double>& buf = col->numeric_buffer();
+    const std::vector<size_t>* sel = col->selection();
     for (size_t i = 0; i < rows.size(); ++i) {
       if (rows[i] >= num_rows_) {
         return Status::OutOfRange("NumericMatrixFor: row index out of range");
       }
-      out.At(i, j) = col->NumericAt(rows[i]);
+      out.At(i, j) = buf[sel ? (*sel)[rows[i]] : rows[i]];
     }
   }
   return out;
@@ -154,12 +171,32 @@ DataFrame DataFrame::Slice(size_t begin, size_t end) const {
 }
 
 DataFrame DataFrame::Gather(const std::vector<size_t>& indices) const {
+  for (size_t i : indices) CCS_DCHECK(i < num_rows_);
   DataFrame out;
   out.schema_ = schema_;
   out.num_rows_ = indices.size();
   out.columns_.reserve(columns_.size());
+  // Columns of one frame normally share one selection vector; compose
+  // `indices` with each *distinct* existing selection once and share the
+  // result, so a gather allocates O(#distinct selections) index vectors,
+  // not O(#columns).
+  std::map<const std::vector<size_t>*,
+           std::shared_ptr<const std::vector<size_t>>>
+      composed;
   for (const Column& col : columns_) {
-    out.columns_.push_back(col.Gather(indices));
+    const std::vector<size_t>* sel = col.selection();
+    std::shared_ptr<const std::vector<size_t>>& slot = composed[sel];
+    if (!slot) {
+      if (sel == nullptr) {
+        slot = std::make_shared<const std::vector<size_t>>(indices);
+      } else {
+        auto physical = std::make_shared<std::vector<size_t>>();
+        physical->reserve(indices.size());
+        for (size_t i : indices) physical->push_back((*sel)[i]);
+        slot = std::move(physical);
+      }
+    }
+    out.columns_.push_back(col.WithSelection(slot));
   }
   return out;
 }
@@ -175,20 +212,30 @@ StatusOr<DataFrame> DataFrame::Concat(const DataFrame& other) const {
   if (!(schema_ == other.schema_)) {
     return Status::InvalidArgument("Concat: schema mismatch");
   }
-  DataFrame out = *this;
-  out.num_rows_ += other.num_rows_;
+  DataFrame out;
+  out.schema_ = schema_;
+  out.num_rows_ = num_rows_ + other.num_rows_;
+  out.columns_.reserve(columns_.size());
   for (size_t c = 0; c < columns_.size(); ++c) {
-    Column& dst = out.columns_[c];
-    const Column& src = other.columns_[c];
-    if (dst.is_numeric()) {
-      for (size_t i = 0; i < other.num_rows_; ++i) {
-        dst.AppendNumeric(src.NumericAt(i));
-      }
-    } else {
-      for (size_t i = 0; i < other.num_rows_; ++i) {
-        dst.AppendCategorical(src.CategoricalAt(i));
-      }
-    }
+    out.columns_.push_back(Column::Concat(columns_[c], other.columns_[c]));
+  }
+  return out;
+}
+
+bool DataFrame::is_view() const {
+  for (const Column& col : columns_) {
+    if (col.is_view()) return true;
+  }
+  return false;
+}
+
+DataFrame DataFrame::Materialize() const {
+  DataFrame out;
+  out.schema_ = schema_;
+  out.num_rows_ = num_rows_;
+  out.columns_.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    out.columns_.push_back(col.Materialize());
   }
   return out;
 }
@@ -200,13 +247,19 @@ StatusOr<std::map<std::string, DataFrame>> DataFrame::PartitionBy(
     return Status::InvalidArgument(
         "PartitionBy requires a categorical attribute: " + attribute);
   }
-  std::map<std::string, std::vector<size_t>> groups;
+  // Bucket row indices by dictionary code — one integer lookup per row,
+  // no string hashing — then emit one view per non-empty code. The
+  // std::map keys the output by dictionary *string*, so the result
+  // order matches the pre-dictionary implementation exactly.
+  const std::vector<std::string>& dict = col->dictionary();
+  std::vector<std::vector<size_t>> buckets(dict.size());
   for (size_t i = 0; i < num_rows_; ++i) {
-    groups[col->CategoricalAt(i)].push_back(i);
+    buckets[col->CodeAt(i)].push_back(i);
   }
   std::map<std::string, DataFrame> out;
-  for (const auto& [value, indices] : groups) {
-    out.emplace(value, Gather(indices));
+  for (size_t code = 0; code < buckets.size(); ++code) {
+    if (buckets[code].empty()) continue;
+    out.emplace(dict[code], Gather(buckets[code]));
   }
   return out;
 }

@@ -21,10 +21,14 @@ namespace ccs::dataframe {
 ///
 /// Columns are appended via AddNumericColumn / AddCategoricalColumn; all
 /// columns must have equal length (checked). Row-subset operations
-/// (Filter/Slice/Sample/PartitionBy) return new DataFrames sharing nothing
-/// with the source (value semantics — datasets in this problem domain are
-/// modest and the benchmarks measure the constraint pipeline, not the
-/// table layer).
+/// (Filter/Slice/Gather/Sample/PartitionBy) return zero-copy *views*:
+/// the result shares the source's immutable column buffers and carries a
+/// row-index selection vector, so a subset costs O(selected rows) index
+/// entries, never a cell copy. Views are plain DataFrames — every
+/// accessor resolves through the selection — and they keep the shared
+/// buffers alive, so a view may outlive the frame it was taken from.
+/// Materialize() flattens a view into owned contiguous buffers for the
+/// rare caller that needs them (Concat does this internally).
 class DataFrame {
  public:
   DataFrame() = default;
@@ -37,6 +41,10 @@ class DataFrame {
   /// Appends a categorical column under the same rules.
   Status AddCategoricalColumn(const std::string& name,
                               std::vector<std::string> values);
+
+  /// Appends an already-built column (possibly sharing another frame's
+  /// buffers) under the same rules.
+  Status AddColumn(const std::string& name, Column column);
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
@@ -78,24 +86,37 @@ class DataFrame {
   std::vector<std::string> NumericNames() const;
   std::vector<std::string> CategoricalNames() const;
 
-  /// Rows for which `predicate(row_index)` is true.
+  /// Rows for which `predicate(row_index)` is true, as a zero-copy view.
   DataFrame Filter(const std::function<bool(size_t)>& predicate) const;
 
-  /// Rows [begin, end).
+  /// Rows [begin, end), as a zero-copy view.
   DataFrame Slice(size_t begin, size_t end) const;
 
-  /// The rows at `indices`, in the given order (repeats allowed).
+  /// The rows at `indices`, in the given order (repeats allowed), as a
+  /// zero-copy view. Indices are logical rows of this frame (which may
+  /// itself be a view; selections compose).
   DataFrame Gather(const std::vector<size_t>& indices) const;
+
+  /// True when any column is a view (carries a selection vector).
+  bool is_view() const;
+
+  /// A frame with the same rows in owned, contiguous, selection-free
+  /// buffers. Cheap (shared) when nothing is a view.
+  DataFrame Materialize() const;
 
   /// `k` rows sampled uniformly without replacement; k is clamped to
   /// num_rows().
   DataFrame Sample(size_t k, Rng* rng) const;
 
-  /// Row-wise concatenation; schemas must match exactly.
+  /// Row-wise concatenation; schemas must match exactly. The result is
+  /// materialized (fresh flat buffers), never a view.
   StatusOr<DataFrame> Concat(const DataFrame& other) const;
 
-  /// Splits on a categorical attribute: value -> sub-DataFrame (paper
-  /// §4.2 partitioning step). Fails if the attribute is not categorical.
+  /// Splits on a categorical attribute: value -> sub-DataFrame view
+  /// (paper §4.2 partitioning step). Groups on integer dictionary codes
+  /// (no string hashing); each partition is a zero-copy view whose rows
+  /// keep their original order. Fails if the attribute is not
+  /// categorical.
   StatusOr<std::map<std::string, DataFrame>> PartitionBy(
       const std::string& attribute) const;
 

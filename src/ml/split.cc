@@ -14,6 +14,8 @@ StatusOr<Split> TrainTestSplit(const dataframe::DataFrame& df,
   std::vector<size_t> train_idx(perm.begin(), perm.begin() + n_train);
   std::vector<size_t> test_idx(perm.begin() + n_train, perm.end());
   Split out;
+  // Both halves are zero-copy views sharing df's column buffers (and
+  // keeping them alive, so the Split may outlive df).
   out.train = df.Gather(train_idx);
   out.test = df.Gather(test_idx);
   return out;

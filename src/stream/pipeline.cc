@@ -109,6 +109,9 @@ StatusOr<PipelineStats> StreamPipeline::Run(
   // ---- Stage 2: windowing. Reassembles chunks into windows; emits in
   // stream order into the (bounded) window queue.
   Status window_status;
+  size_t window_rows_copied = 0;
+  size_t window_buffer_reallocs = 0;
+  size_t window_buffer_capacity = 0;
   std::thread windowing([&] {
     StatusOr<Windower> windower =
         Windower::Create(options_.window_rows, options_.slide_rows);
@@ -130,6 +133,11 @@ StatusOr<PipelineStats> StreamPipeline::Run(
       }
     }
   done:
+    if (windower.ok()) {
+      window_rows_copied = windower->rows_copied_out();
+      window_buffer_reallocs = windower->buffer_reallocs();
+      window_buffer_capacity = windower->buffer_capacity_rows();
+    }
     // On error, also unblock the ingest stage (its Push would otherwise
     // wait forever on a full chunk queue).
     chunk_queue.Close();
@@ -177,6 +185,9 @@ StatusOr<PipelineStats> StreamPipeline::Run(
   stats.rows_ingested = rows_ingested;
   stats.chunk_queue_peak = chunk_queue.peak_depth();
   stats.window_queue_peak = window_queue.peak_depth();
+  stats.window_rows_copied = window_rows_copied;
+  stats.window_buffer_reallocs = window_buffer_reallocs;
+  stats.window_buffer_capacity_rows = window_buffer_capacity;
   stats.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

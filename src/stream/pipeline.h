@@ -74,6 +74,14 @@ struct PipelineStats {
   /// High-water marks of the two queues: how deep backpressure buffered.
   size_t chunk_queue_peak = 0;
   size_t window_queue_peak = 0;
+  /// Windower allocation telemetry for this Run (see stream/windower.h):
+  /// rows copied into emitted windows (the whole per-emit cost), rolling
+  /// buffer growth events, and the final rolling-buffer capacity. A
+  /// steady-state stream reallocates a handful of times up front and
+  /// then never again — `ccsynth monitor --stats` surfaces these.
+  size_t window_rows_copied = 0;
+  size_t window_buffer_reallocs = 0;
+  size_t window_buffer_capacity_rows = 0;
   double elapsed_seconds = 0.0;
   /// rows_ingested / elapsed_seconds.
   double rows_per_second = 0.0;

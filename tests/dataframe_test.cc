@@ -75,6 +75,51 @@ TEST(ColumnTest, GatherReordersAndRepeats) {
   EXPECT_DOUBLE_EQ(g.NumericAt(2), 3.0);
 }
 
+TEST(ColumnTest, CategoricalIsDictionaryEncoded) {
+  Column c = Column::Categorical({"b", "a", "b", "c"});
+  // Dictionary in first-appearance order; codes index it.
+  EXPECT_EQ(c.dictionary(), (std::vector<std::string>{"b", "a", "c"}));
+  EXPECT_EQ(c.CodeAt(0), 0u);
+  EXPECT_EQ(c.CodeAt(1), 1u);
+  EXPECT_EQ(c.CodeAt(2), 0u);
+  EXPECT_EQ(c.CodeAt(3), 2u);
+  EXPECT_EQ(c.CategoricalAt(3), "c");
+  EXPECT_EQ(c.categorical_data(),
+            (std::vector<std::string>{"b", "a", "b", "c"}));
+}
+
+TEST(ColumnTest, GatherIsAZeroCopyView) {
+  Column c = Column::Numeric({1.0, 2.0, 3.0, 4.0});
+  Column g = c.Gather({3, 1});
+  EXPECT_TRUE(g.is_view());
+  // The view shares the source's physical buffer.
+  EXPECT_EQ(&g.numeric_buffer(), &c.numeric_buffer());
+  Column flat = g.Materialize();
+  EXPECT_FALSE(flat.is_view());
+  EXPECT_DOUBLE_EQ(flat.NumericAt(0), 4.0);
+  EXPECT_DOUBLE_EQ(flat.NumericAt(1), 2.0);
+}
+
+TEST(ColumnTest, AppendDetachesSharedStorageLeavingViewsIntact) {
+  Column c = Column::Numeric({1.0, 2.0, 3.0});
+  Column view = c.Gather({0, 2});
+  c.AppendNumeric(4.0);  // Must not disturb the view (copy-on-write).
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.NumericAt(3), 4.0);
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_DOUBLE_EQ(view.NumericAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(view.NumericAt(1), 3.0);
+
+  Column cat = Column::Categorical({"x", "y"});
+  Column cat_view = cat.Gather({1});
+  cat.AppendCategorical("z");
+  cat.AppendCategorical("y");  // Existing value reuses its code.
+  EXPECT_EQ(cat.size(), 4u);
+  EXPECT_EQ(cat.CategoricalAt(2), "z");
+  EXPECT_EQ(cat.CodeAt(3), cat.CodeAt(1));
+  EXPECT_EQ(cat_view.CategoricalAt(0), "y");
+}
+
 // --------------------------- DataFrame --------------------------------
 
 TEST(DataFrameTest, BuildAndInspect) {

@@ -180,6 +180,102 @@ TEST(WindowerTest, EmptyChunkCompletesNothing) {
   EXPECT_TRUE(out->empty());
 }
 
+TEST(WindowerTest, RejectsChunkSchemaMismatch) {
+  auto windower = Windower::Create(4);
+  ASSERT_TRUE(windower.ok());
+  ASSERT_TRUE(windower->Push(TrendFrame(3, 0.0, 40)).ok());
+  DataFrame other;
+  CCS_CHECK(other.AddNumericColumn("z", {1.0}).ok());
+  auto out = windower->Push(other);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WindowerTest, SlidingBufferCapacityIsStableAcross100Slides) {
+  // The regression this pins: the rolling buffer used to be rebuilt by
+  // Concat + Slice per emitted window (a fresh allocation every slide).
+  // Now sliding consumes an offset and compacts in place, so after a
+  // brief warm-up the buffer capacity must not move — and windows must
+  // still come out right.
+  constexpr size_t kWindow = 64;
+  constexpr size_t kSlide = 16;
+  constexpr size_t kChunk = 16;
+  auto windower = Windower::Create(kWindow, kSlide);
+  ASSERT_TRUE(windower.ok());
+
+  DataFrame all = TrendFrame(kWindow + 102 * kSlide, 0.0, 41);
+  size_t begin = 0;
+  // Warm up until the first windows have been emitted.
+  while (windower->windows_emitted() < 2) {
+    ASSERT_TRUE(windower->Push(all.Slice(begin, begin + kChunk)).ok());
+    begin += kChunk;
+  }
+  size_t warm_capacity = windower->buffer_capacity_rows();
+  size_t warm_reallocs = windower->buffer_reallocs();
+  ASSERT_GT(warm_capacity, 0u);
+
+  size_t windows = windower->windows_emitted();
+  while (windower->windows_emitted() < windows + 100) {
+    auto out = windower->Push(all.Slice(begin, begin + kChunk));
+    ASSERT_TRUE(out.ok());
+    begin += kChunk;
+    ASSERT_LE(begin, all.num_rows());
+  }
+  // 100 further slides: zero growth, zero reallocation.
+  EXPECT_EQ(windower->buffer_capacity_rows(), warm_capacity);
+  EXPECT_EQ(windower->buffer_reallocs(), warm_reallocs);
+  // Each emit copied exactly one window of rows.
+  EXPECT_EQ(windower->rows_copied_out(),
+            windower->windows_emitted() * kWindow);
+
+  // And the windows are the right rows: window w covers [w*slide,
+  // w*slide + window).
+  auto check = windower->Push(all.Slice(begin, begin + kChunk));
+  ASSERT_TRUE(check.ok());
+  size_t w = windower->windows_emitted() - check->size();
+  for (const DataFrame& window : *check) {
+    ASSERT_EQ(window.num_rows(), kWindow);
+    for (size_t r = 0; r < kWindow; r += 13) {
+      EXPECT_EQ(window.NumericValue(r, "x").value(),
+                all.NumericValue(w * kSlide + r, "x").value());
+    }
+    ++w;
+  }
+}
+
+TEST(WindowerTest, EmittedWindowsSurviveLaterPushesAndCompaction) {
+  // Windows own their storage (sharing only the dictionary): pushing
+  // more chunks — which compacts and overwrites the rolling buffer —
+  // must not disturb previously emitted windows.
+  DataFrame df = TrendFrame(90, 0.0, 42);
+  CCS_CHECK(df.AddCategoricalColumn(
+                  "label", [] {
+                    std::vector<std::string> v;
+                    for (int i = 0; i < 90; ++i) {
+                      v.push_back(i % 3 == 0 ? "odd" : "even");
+                    }
+                    return v;
+                  }())
+                .ok());
+  auto windower = Windower::Create(20, 10);
+  ASSERT_TRUE(windower.ok());
+  std::vector<DataFrame> kept;
+  for (size_t begin = 0; begin < 90; begin += 9) {
+    auto out = windower->Push(df.Slice(begin, begin + 9));
+    ASSERT_TRUE(out.ok());
+    for (auto& w : *out) kept.push_back(std::move(w));
+  }
+  ASSERT_GE(kept.size(), 5u);
+  for (size_t w = 0; w < kept.size(); ++w) {
+    for (size_t r = 0; r < 20; ++r) {
+      EXPECT_EQ(kept[w].NumericValue(r, "y").value(),
+                df.NumericValue(w * 10 + r, "y").value());
+      EXPECT_EQ(kept[w].CategoricalValue(r, "label").value(),
+                df.CategoricalValue(w * 10 + r, "label").value());
+    }
+  }
+}
+
 // ---------------------------- CsvChunkReader --------------------------
 
 TEST(CsvChunkReaderTest, ChunksConcatenateToWholeFile) {
