@@ -1,13 +1,16 @@
 // Throughput of the zero-copy DataFrame view layer vs. the pre-view
 // deep-copy semantics it replaced.
 //
-// Three hot paths, each measured twice over the same data:
+// Four hot paths, each measured twice over the same data:
 //   PartitionBy  — dictionary-code grouping emitting row-index views,
 //                  vs. the legacy path: string-keyed grouping + a full
 //                  per-partition cell copy (doubles and strings).
 //   Filter       — selection-vector view vs. legacy row-by-row copy.
 //   Windowing    — the rolling-buffer Windower (O(window) per emit),
 //                  vs. the legacy Concat + Slice buffer rebuild.
+//   Scoring      — ViolationAll walking a Filter view through the
+//                  MatrixView kernel, vs. materializing a Matrix first
+//                  (see bench_matrix_view for the full kernel study).
 //
 // Every pair is CHECKed bitwise-equal before a number is reported: a
 // speedup over a divergent computation would be meaningless. Pass
@@ -22,6 +25,8 @@
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "core/constraint.h"
+#include "core/projection.h"
 #include "dataframe/dataframe.h"
 #include "stream/windower.h"
 
@@ -221,6 +226,52 @@ Measurement BenchWindowing(const DataFrame& df, size_t window, size_t slide,
   return m;
 }
 
+// Scoring a Filter view through the MatrixView kernel (ViolationAll
+// walks the view's columns in place) vs. the legacy materialize-first
+// path (NumericMatrixFor + the Matrix kernel) — the score half of what
+// bench_matrix_view measures in depth, kept here so the view layer's
+// bench shows the whole stack: subset, group, window, AND consume.
+Measurement BenchViewScoring(const DataFrame& df, size_t reps) {
+  std::vector<std::string> names = df.NumericNames();
+  std::vector<core::BoundedConstraint> conjuncts;
+  for (size_t k = 0; k < 2; ++k) {
+    linalg::Vector w(names.size());
+    for (size_t j = 0; j < w.size(); ++j) w[j] = (j % 2 == k) ? 0.6 : -0.2;
+    auto projection = core::Projection::Create(names, std::move(w));
+    bench::CheckOk(projection.status());
+    conjuncts.emplace_back(std::move(*projection), -1.8, 1.8, 0.0, 0.9, 0.5);
+  }
+  auto profile = core::SimpleConstraint::Create(names, std::move(conjuncts));
+  bench::CheckOk(profile.status());
+  DataFrame view = df.Filter(
+      [&](size_t i) { return df.column(1).NumericAt(i) > -1.0; });  // ~84%.
+
+  Measurement m;
+  linalg::Vector legacy, walked;
+  auto begin = std::chrono::steady_clock::now();
+  for (size_t rep = 0; rep < reps; ++rep) {
+    auto data = view.NumericMatrixFor(names);
+    bench::CheckOk(data.status());
+    legacy = profile->ViolationAllAligned(*data);
+  }
+  m.legacy_seconds = Seconds(begin, std::chrono::steady_clock::now());
+
+  begin = std::chrono::steady_clock::now();
+  for (size_t rep = 0; rep < reps; ++rep) {
+    auto scores = profile->ViolationAll(view);
+    bench::CheckOk(scores.status());
+    walked = std::move(*scores);
+  }
+  m.view_seconds = Seconds(begin, std::chrono::steady_clock::now());
+
+  CCS_CHECK(walked.size() == legacy.size());
+  for (size_t i = 0; i < walked.size(); ++i) {
+    double a = walked[i], b = legacy[i];
+    CCS_CHECK(std::memcmp(&a, &b, sizeof(double)) == 0);
+  }
+  return m;
+}
+
 void Run(bool quick) {
   const size_t rows = quick ? 20000 : 200000;
   const size_t reps = quick ? 3 : 10;
@@ -244,6 +295,9 @@ void Run(bool quick) {
   Measurement windowing = BenchWindowing(df, /*window=*/512, /*slide=*/128,
                                          /*chunk=*/256);
   Report("windows 512/128", rows, windowing);
+
+  Measurement scoring = BenchViewScoring(df, reps);
+  Report("score(Filter view)", rows * reps, scoring);
 
   std::printf(
       "\n(all view results CHECKed bitwise-equal to the legacy copies\n"

@@ -63,6 +63,17 @@ class LogMessage {
 #define CCS_DCHECK(condition) CCS_CHECK(condition)
 #endif
 
+// Forces a single out-of-line compilation of a function. Determinism-
+// critical floating-point kernels use this so every caller executes the
+// SAME machine code: inlining re-compiles a kernel per call site, and
+// codegen differences (FP operand ordering) between copies propagate
+// different NaN payloads, breaking bitwise path-equivalence.
+#if defined(__GNUC__) || defined(__clang__)
+#define CCS_NOINLINE __attribute__((noinline))
+#else
+#define CCS_NOINLINE
+#endif
+
 #define CCS_LOG_INFO ::ccs::internal::LogMessage("INFO").stream()
 #define CCS_LOG_WARNING ::ccs::internal::LogMessage("WARN").stream()
 #define CCS_LOG_ERROR ::ccs::internal::LogMessage("ERROR").stream()

@@ -47,6 +47,14 @@ double BoundedConstraint::ViolationAligned(
 
 double BoundedConstraint::ViolationOfValue(double value) const {
   double excess = std::max({0.0, value - ub_, lb_ - value});
+  // In-bounds tuples (the conforming majority) short-circuit: exp(-0)
+  // is exactly 1, so the full formula yields exactly +0.0 — returning
+  // it directly skips the libm call without changing a single bit on
+  // any path (alpha_ is always finite). A NaN value also lands here,
+  // exactly as it always has: NaN comparisons are false, so the max()
+  // above keeps its 0.0 seed and a NaN projection scores as fully
+  // conforming (+0.0) on every path.
+  if (excess == 0.0) return 0.0;
   return Eta(alpha_ * excess);
 }
 
@@ -84,29 +92,49 @@ double SimpleConstraint::ViolationAligned(
   return std::clamp(acc, 0.0, 1.0);
 }
 
-linalg::Vector SimpleConstraint::ViolationAllAligned(
-    const linalg::Matrix& data) const {
+namespace {
+
+// Shared body of the Matrix / MatrixView scoring kernels. DataLike only
+// needs rows() and MultiplyRowRange(begin, end, coef); both implement
+// the same exact i,k,j term order, so the two instantiations are
+// bitwise interchangeable.
+template <typename DataLike>
+linalg::Vector ViolationAllAlignedImpl(
+    const std::vector<std::string>& names,
+    const std::vector<BoundedConstraint>& conjuncts, const DataLike& data) {
   linalg::Vector out(data.rows());
-  if (conjuncts_.empty() || data.rows() == 0) return out;
+  if (conjuncts.empty() || data.rows() == 0) return out;
   // Column k holds conjunct k's projection, so one data * coef product
   // evaluates every projection on every row.
-  linalg::Matrix coef(names_.size(), conjuncts_.size());
-  for (size_t k = 0; k < conjuncts_.size(); ++k) {
-    const linalg::Vector& c = conjuncts_[k].projection().coefficients();
+  linalg::Matrix coef(names.size(), conjuncts.size());
+  for (size_t k = 0; k < conjuncts.size(); ++k) {
+    const linalg::Vector& c = conjuncts[k].projection().coefficients();
     for (size_t j = 0; j < c.size(); ++j) coef.At(j, k) = c[j];
   }
   common::ParallelFor(data.rows(), [&](size_t begin, size_t end) {
     linalg::Matrix values = data.MultiplyRowRange(begin, end, coef);
     for (size_t i = begin; i < end; ++i) {
       double acc = 0.0;
-      for (size_t k = 0; k < conjuncts_.size(); ++k) {
-        acc += conjuncts_[k].importance() *
-               conjuncts_[k].ViolationOfValue(values.At(i - begin, k));
+      for (size_t k = 0; k < conjuncts.size(); ++k) {
+        acc += conjuncts[k].importance() *
+               conjuncts[k].ViolationOfValue(values.At(i - begin, k));
       }
       out[i] = std::clamp(acc, 0.0, 1.0);
     }
   });
   return out;
+}
+
+}  // namespace
+
+linalg::Vector SimpleConstraint::ViolationAllAligned(
+    const linalg::Matrix& data) const {
+  return ViolationAllAlignedImpl(names_, conjuncts_, data);
+}
+
+linalg::Vector SimpleConstraint::ViolationAllAligned(
+    const linalg::MatrixView& data) const {
+  return ViolationAllAlignedImpl(names_, conjuncts_, data);
 }
 
 StatusOr<double> SimpleConstraint::Violation(const dataframe::DataFrame& df,
@@ -123,7 +151,9 @@ StatusOr<double> SimpleConstraint::Violation(const dataframe::DataFrame& df,
 
 StatusOr<linalg::Vector> SimpleConstraint::ViolationAll(
     const dataframe::DataFrame& df) const {
-  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names_));
+  // Walk the frame's columnar storage in place (zero-copy even when df
+  // is a view); the view borrows df and dies before it.
+  CCS_ASSIGN_OR_RETURN(linalg::MatrixView data, df.NumericViewFor(names_));
   return ViolationAllAligned(data);
 }
 
@@ -171,10 +201,11 @@ StatusOr<linalg::Vector> DisjunctiveConstraint::ViolationAll(
   // Group rows by switch value in one pass over the dictionary codes:
   // the case map is consulted once per *distinct* value (dictionary
   // entry), and the per-row loop compares integers — no string hashing.
-  // One aligned matrix is then materialized per case and scored through
-  // the batched kernel. Mixed attribute orders across cases cost nothing
-  // extra — each group aligns independently, instead of re-simplifying
-  // and re-aligning per row.
+  // Each case is then scored through the batched kernel over a
+  // zero-copy row-subset view (no per-case matrix is materialized).
+  // Mixed attribute orders across cases cost nothing extra — each group
+  // aligns independently, instead of re-simplifying and re-aligning per
+  // row.
   const std::vector<std::string>& dict = col->dictionary();
   std::vector<const SimpleConstraint*> code_case(dict.size(), nullptr);
   for (size_t c = 0; c < dict.size(); ++c) {
@@ -188,9 +219,11 @@ StatusOr<linalg::Vector> DisjunctiveConstraint::ViolationAll(
     groups[constraint].push_back(i);
   }
   for (const auto& [constraint, rows] : groups) {
+    // The view borrows `rows` (alive in the map) and df's buffers for
+    // exactly this iteration.
     CCS_ASSIGN_OR_RETURN(
-        linalg::Matrix data,
-        df.NumericMatrixFor(constraint->attribute_names(), rows));
+        linalg::MatrixView data,
+        df.NumericViewFor(constraint->attribute_names(), rows));
     linalg::Vector violations = constraint->ViolationAllAligned(data);
     for (size_t g = 0; g < rows.size(); ++g) out[rows[g]] = violations[g];
   }

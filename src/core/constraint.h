@@ -23,6 +23,7 @@
 #include "common/statusor.h"
 #include "core/projection.h"
 #include "dataframe/dataframe.h"
+#include "linalg/matrix_view.h"
 
 namespace ccs::core {
 
@@ -93,6 +94,12 @@ class SimpleConstraint {
   /// one chunk-parallel matrix-matrix product; results are bitwise
   /// identical to calling ViolationAligned row by row.
   linalg::Vector ViolationAllAligned(const linalg::Matrix& data) const;
+
+  /// The same batched kernel over a non-owning columnar view: the
+  /// gather happens inside MatrixView::MultiplyRowRange, so scoring a
+  /// view-backed frame materializes no per-call matrix. Bitwise
+  /// identical to ViolationAllAligned(data.ToMatrix()).
+  linalg::Vector ViolationAllAligned(const linalg::MatrixView& data) const;
 
   /// Violation of row `row` of `df` (attributes located by name).
   StatusOr<double> Violation(const dataframe::DataFrame& df,

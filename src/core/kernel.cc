@@ -10,7 +10,9 @@ StatusOr<dataframe::DataFrame> ExpandPolynomial(
     return Status::InvalidArgument(
         "ExpandPolynomial: no numeric attributes to expand");
   }
-  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(numeric));
+  // Walk the source columns in place (zero-copy even for view frames);
+  // only the expanded output columns are materialized.
+  CCS_ASSIGN_OR_RETURN(linalg::MatrixView data, df.NumericViewFor(numeric));
   const size_t n = df.num_rows();
   const size_t m = numeric.size();
 

@@ -17,8 +17,11 @@ void IncrementalSynthesizer::Observe(const linalg::Vector& numeric_tuple) {
 }
 
 Status IncrementalSynthesizer::ObserveAll(const dataframe::DataFrame& df) {
-  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names_));
-  gram_.AddMatrix(data);
+  // The stream pipeline feeds rolling-buffer window views through here
+  // every slide; walking them in place keeps the refresh path
+  // allocation-free in the window size.
+  CCS_ASSIGN_OR_RETURN(linalg::MatrixView data, df.NumericViewFor(names_));
+  gram_.AddView(data);
   return Status::OK();
 }
 

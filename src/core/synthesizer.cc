@@ -36,10 +36,12 @@ StatusOr<SimpleConstraint> Synthesizer::SynthesizeSimple(
     return Status::InvalidArgument("SynthesizeSimple: empty dataset");
   }
   // Line 1-2 of Algorithm 1: drop non-numeric attributes, augment with a
-  // ones column — both folded into the streaming Gram accumulator.
+  // ones column — both folded into the streaming Gram accumulator, which
+  // walks the frame's columnar storage in place (no per-call matrix even
+  // when df is a partition view).
   linalg::GramAccumulator gram(names.size());
-  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names));
-  gram.AddMatrix(data);
+  CCS_ASSIGN_OR_RETURN(linalg::MatrixView data, df.NumericViewFor(names));
+  gram.AddView(data);
   return SynthesizeSimpleFromGram(names, gram);
 }
 

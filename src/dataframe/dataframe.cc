@@ -118,6 +118,14 @@ StatusOr<linalg::Matrix> DataFrame::NumericMatrixFor(
 StatusOr<linalg::Matrix> DataFrame::NumericMatrixFor(
     const std::vector<std::string>& names,
     const std::vector<size_t>& rows) const {
+  // Validate the row subset once up front: the gather loop below then
+  // runs branch-free per cell, and a bad index can no longer leave the
+  // caller with partially gathered columns' worth of wasted work.
+  for (size_t r : rows) {
+    if (r >= num_rows_) {
+      return Status::OutOfRange("NumericMatrixFor: row index out of range");
+    }
+  }
   linalg::Matrix out(rows.size(), names.size());
   for (size_t j = 0; j < names.size(); ++j) {
     CCS_ASSIGN_OR_RETURN(const Column* col, ColumnByName(names[j]));
@@ -125,15 +133,47 @@ StatusOr<linalg::Matrix> DataFrame::NumericMatrixFor(
       return Status::InvalidArgument("column is not numeric: " + names[j]);
     }
     const std::vector<double>& buf = col->numeric_buffer();
-    const std::vector<size_t>* sel = col->selection();
-    for (size_t i = 0; i < rows.size(); ++i) {
-      if (rows[i] >= num_rows_) {
-        return Status::OutOfRange("NumericMatrixFor: row index out of range");
-      }
-      out.At(i, j) = buf[sel ? (*sel)[rows[i]] : rows[i]];
+    if (const std::vector<size_t>* sel = col->selection()) {
+      for (size_t i = 0; i < rows.size(); ++i) out.At(i, j) = buf[(*sel)[rows[i]]];
+    } else {
+      for (size_t i = 0; i < rows.size(); ++i) out.At(i, j) = buf[rows[i]];
     }
   }
   return out;
+}
+
+StatusOr<linalg::MatrixView> DataFrame::NumericViewFor(
+    const std::vector<std::string>& names) const {
+  std::vector<linalg::MatrixView::ColumnRef> refs;
+  refs.reserve(names.size());
+  for (const std::string& name : names) {
+    CCS_ASSIGN_OR_RETURN(const Column* col, ColumnByName(name));
+    if (!col->is_numeric()) {
+      return Status::InvalidArgument("column is not numeric: " + name);
+    }
+    refs.push_back({col->numeric_buffer().data(), col->selection()});
+  }
+  return linalg::MatrixView(num_rows_, std::move(refs));
+}
+
+StatusOr<linalg::MatrixView> DataFrame::NumericViewFor(
+    const std::vector<std::string>& names,
+    const std::vector<size_t>& rows) const {
+  for (size_t r : rows) {
+    if (r >= num_rows_) {
+      return Status::OutOfRange("NumericViewFor: row index out of range");
+    }
+  }
+  std::vector<linalg::MatrixView::ColumnRef> refs;
+  refs.reserve(names.size());
+  for (const std::string& name : names) {
+    CCS_ASSIGN_OR_RETURN(const Column* col, ColumnByName(name));
+    if (!col->is_numeric()) {
+      return Status::InvalidArgument("column is not numeric: " + name);
+    }
+    refs.push_back({col->numeric_buffer().data(), col->selection()});
+  }
+  return linalg::MatrixView(rows.size(), std::move(refs), &rows);
 }
 
 std::vector<std::string> DataFrame::NumericNames() const {

@@ -13,6 +13,7 @@
 #include "dataframe/column.h"
 #include "dataframe/schema.h"
 #include "linalg/matrix.h"
+#include "linalg/matrix_view.h"
 #include "linalg/vector.h"
 
 namespace ccs::dataframe {
@@ -75,12 +76,37 @@ class DataFrame {
       const std::vector<std::string>& names) const;
 
   /// Selected columns restricted to the given rows (in the given order)
-  /// as a rows.size() x k matrix — the aligned per-group matrix the
-  /// batched disjunctive scorer materializes once per case. Row indices
-  /// must be in range.
+  /// as a rows.size() x k matrix. Row indices are validated up front
+  /// (before any gathering). Cold callers only — hot kernels walk the
+  /// zero-copy NumericViewFor instead.
   StatusOr<linalg::Matrix> NumericMatrixFor(
       const std::vector<std::string>& names,
       const std::vector<size_t>& rows) const;
+
+  /// Selected columns (all must be numeric) as a non-owning n x k
+  /// columnar view, built in O(k) without copying cell data — the
+  /// zero-materialization twin of NumericMatrixFor for hot kernels
+  /// (scoring, Gram accumulation). The view borrows this frame's
+  /// buffers and selection vectors: it is valid only while this frame
+  /// is alive and must not outlive it.
+  StatusOr<linalg::MatrixView> NumericViewFor(
+      const std::vector<std::string>& names) const;
+
+  /// The row-subset variant: logical rows `rows` (in the given order,
+  /// repeats allowed) of the selected columns, still O(k) and zero-copy
+  /// — the per-case view the batched disjunctive scorer walks. Row
+  /// indices are validated up front; the view additionally borrows
+  /// `rows`, which must outlive it.
+  StatusOr<linalg::MatrixView> NumericViewFor(
+      const std::vector<std::string>& names,
+      const std::vector<size_t>& rows) const;
+
+  /// Deleted: a temporary row list would leave the returned view
+  /// holding a dangling pointer (the view borrows `rows`, it does not
+  /// copy it). Bind the rows to a named vector that outlives the view.
+  StatusOr<linalg::MatrixView> NumericViewFor(
+      const std::vector<std::string>& names,
+      std::vector<size_t>&& rows) const = delete;
 
   /// Names of numeric / categorical columns in schema order.
   std::vector<std::string> NumericNames() const;

@@ -10,15 +10,18 @@ namespace ccs::linalg {
 GramAccumulator::GramAccumulator(size_t num_attributes)
     : m_(num_attributes), n_(0), sum_(num_attributes + 1, num_attributes + 1) {}
 
-void GramAccumulator::Add(const Vector& tuple) {
-  CCS_CHECK_EQ(tuple.size(), m_);
-  // Augmented tuple is (1, t0, ..., t_{m-1}); accumulate its outer product.
+void GramAccumulator::AccumulateRowTerms(const double* row) {
+  // Augmented tuple is (1, t0, ..., t_{m-1}); accumulate its outer
+  // product. Every ingest path funnels here, so the per-entry term
+  // order — the determinism contract's summation tree leaf — has
+  // exactly one definition.
   sum_.At(0, 0) += 1.0;
   for (size_t i = 0; i < m_; ++i) {
-    sum_.At(0, i + 1) += tuple[i];
-    sum_.At(i + 1, 0) += tuple[i];
+    double v = row[i];
+    sum_.At(0, i + 1) += v;
+    sum_.At(i + 1, 0) += v;
     for (size_t j = i; j < m_; ++j) {
-      double prod = tuple[i] * tuple[j];
+      double prod = v * row[j];
       sum_.At(i + 1, j + 1) += prod;
       if (j != i) sum_.At(j + 1, i + 1) += prod;
     }
@@ -26,32 +29,65 @@ void GramAccumulator::Add(const Vector& tuple) {
   ++n_;
 }
 
-void GramAccumulator::AccumulateRows(const Matrix& data, size_t row_begin,
-                                     size_t row_end) {
-  // Same per-entry term order as Add(), reading the matrix in place so
-  // shard workers never materialize row Vectors.
+void GramAccumulator::Add(const Vector& tuple) {
+  CCS_CHECK_EQ(tuple.size(), m_);
+  AccumulateRowTerms(tuple.data().data());
+}
+
+void GramAccumulator::AccumulateRowsImpl(const Matrix& data, size_t row_begin,
+                                         size_t row_end) {
+  // Rows are contiguous in a row-major Matrix; accumulate them in place.
+  const double* base = data.data().data();
   for (size_t r = row_begin; r < row_end; ++r) {
-    sum_.At(0, 0) += 1.0;
-    for (size_t i = 0; i < m_; ++i) {
-      double v = data.At(r, i);
-      sum_.At(0, i + 1) += v;
-      sum_.At(i + 1, 0) += v;
-      for (size_t j = i; j < m_; ++j) {
-        double prod = v * data.At(r, j);
-        sum_.At(i + 1, j + 1) += prod;
-        if (j != i) sum_.At(j + 1, i + 1) += prod;
-      }
-    }
-    ++n_;
+    AccumulateRowTerms(base + r * m_);
   }
 }
 
-void GramAccumulator::AddMatrix(const Matrix& data) {
+void GramAccumulator::AccumulateRowsImpl(const MatrixView& data,
+                                         size_t row_begin, size_t row_end) {
+  if (row_begin == row_end) return;
+  // Late materialization in cache-sized blocks: gather rows into reused
+  // scratch, then run the SAME compiled term kernel every other ingest
+  // path uses. No full-size Matrix is allocated/zeroed/re-read, and the
+  // bits are identical by construction: copying cells preserves them,
+  // and a single shared kernel sidesteps the one divergence source
+  // term-order reasoning cannot close — two structurally identical
+  // kernels compiled with different FP operand orderings propagate
+  // different NaN payloads (observed with GCC on the mirror writes).
+  std::vector<double> scratch(
+      std::min(row_end - row_begin, kViewGatherBlockRows) * m_);
+  for (size_t b = row_begin; b < row_end; b += kViewGatherBlockRows) {
+    const size_t e = std::min(row_end, b + kViewGatherBlockRows);
+    data.GatherBlock(b, e, scratch.data());
+    for (size_t r = 0; r < e - b; ++r) {
+      AccumulateRowTerms(scratch.data() + r * m_);
+    }
+  }
+}
+
+void GramAccumulator::AccumulateRows(const Matrix& data, size_t row_begin,
+                                     size_t row_end) {
+  // A mismatched width would read out of bounds (Add and AddMatrix both
+  // validate; this public entry point must too).
+  CCS_CHECK_EQ(data.cols(), m_);
+  CCS_CHECK(row_begin <= row_end && row_end <= data.rows());
+  AccumulateRowsImpl(data, row_begin, row_end);
+}
+
+void GramAccumulator::AccumulateRows(const MatrixView& data, size_t row_begin,
+                                     size_t row_end) {
+  CCS_CHECK_EQ(data.cols(), m_);
+  CCS_CHECK(row_begin <= row_end && row_end <= data.rows());
+  AccumulateRowsImpl(data, row_begin, row_end);
+}
+
+template <typename DataLike>
+void GramAccumulator::AddRowsSharded(const DataLike& data) {
   CCS_CHECK_EQ(data.cols(), m_);
   const size_t n = data.rows();
   const size_t shards = (n + kGramShardRows - 1) / kGramShardRows;
   if (shards <= 1) {
-    AccumulateRows(data, 0, n);
+    AccumulateRowsImpl(data, 0, n);
     return;
   }
   // Shard boundaries depend only on n, so the summation tree — partials
@@ -62,8 +98,8 @@ void GramAccumulator::AddMatrix(const Matrix& data) {
       shards,
       [&](size_t begin, size_t end) {
         for (size_t s = begin; s < end; ++s) {
-          partials[s].AccumulateRows(data, s * kGramShardRows,
-                                     std::min(n, (s + 1) * kGramShardRows));
+          partials[s].AccumulateRowsImpl(data, s * kGramShardRows,
+                                         std::min(n, (s + 1) * kGramShardRows));
         }
       },
       common::ParallelOptions{/*num_threads=*/0, /*min_chunk=*/1});
@@ -71,6 +107,10 @@ void GramAccumulator::AddMatrix(const Matrix& data) {
     CCS_CHECK(Merge(partial).ok());
   }
 }
+
+void GramAccumulator::AddMatrix(const Matrix& data) { AddRowsSharded(data); }
+
+void GramAccumulator::AddView(const MatrixView& data) { AddRowsSharded(data); }
 
 Status GramAccumulator::Merge(const GramAccumulator& other) {
   if (other.m_ != m_) {

@@ -10,14 +10,16 @@
 //   - per-attribute means,
 //   - the covariance matrix                       (for baselines).
 //
-// AddMatrix is the bulk path and is chunk-parallel: rows are split into
-// fixed-size shards (kGramShardRows, independent of the thread count),
-// each shard accumulated into a thread-local partial, and the partials
-// merged in ascending shard order on the calling thread. Because both
-// the shard boundaries and the merge order are fixed, the accumulated
-// sums — and everything synthesized from them — are bitwise identical at
-// any thread count, including 1 (see docs/architecture.md, "Determinism
-// contract").
+// AddMatrix and AddView are the bulk paths and are chunk-parallel: rows
+// are split into fixed-size shards (kGramShardRows, independent of the
+// thread count), each shard accumulated into a thread-local partial, and
+// the partials merged in ascending shard order on the calling thread.
+// Because both the shard boundaries and the merge order are fixed, the
+// accumulated sums — and everything synthesized from them — are bitwise
+// identical at any thread count, including 1 (see docs/architecture.md,
+// "Determinism contract"). AddView walks a non-owning MatrixView
+// (column buffers + selection vectors) directly, so view-backed
+// DataFrames are accumulated without materializing a per-call Matrix.
 
 #ifndef CCS_LINALG_GRAM_H_
 #define CCS_LINALG_GRAM_H_
@@ -26,6 +28,7 @@
 
 #include "common/statusor.h"
 #include "linalg/matrix.h"
+#include "linalg/matrix_view.h"
 #include "linalg/vector.h"
 
 namespace ccs::linalg {
@@ -53,6 +56,23 @@ class GramAccumulator {
   /// \param data  An n x num_attributes() matrix; rows are tuples.
   void AddMatrix(const Matrix& data);
 
+  /// AddMatrix over a non-owning columnar view: the same sharded,
+  /// fixed-merge-order bulk path, but the gather happens inside the
+  /// accumulation loop — no per-call Matrix is materialized. Bitwise
+  /// identical to AddMatrix(data.ToMatrix()) at any thread count.
+  ///
+  /// \param data  An n x num_attributes() view; rows are tuples.
+  void AddView(const MatrixView& data);
+
+  /// Accumulates rows [row_begin, row_end) of `data` directly into the
+  /// running sum, in row order with Add()'s per-entry term order — the
+  /// shard body AddMatrix/AddView dispatch in parallel, exposed for
+  /// callers that manage their own sharding. `data.cols()` must equal
+  /// num_attributes() (checked) and row_end must be <= data.rows().
+  void AccumulateRows(const Matrix& data, size_t row_begin, size_t row_end);
+  void AccumulateRows(const MatrixView& data, size_t row_begin,
+                      size_t row_end);
+
   /// Merges another accumulator built over the same schema (partition-wise
   /// parallel pattern from §4.3.2).
   ///
@@ -76,9 +96,23 @@ class GramAccumulator {
   Matrix Covariance() const;
 
  private:
-  // Accumulates rows [row_begin, row_end) of `data` directly into sum_,
-  // in row order with Add()'s per-entry term order.
-  void AccumulateRows(const Matrix& data, size_t row_begin, size_t row_end);
+  // One tuple's worth of (1,t)(1,t)^T terms from a contiguous row of m_
+  // doubles — the single definition of the per-entry term order every
+  // ingest path (Add, AccumulateRows, AddMatrix, AddView) funnels into.
+  // Never inlined: one shared compilation is what guarantees identical
+  // bits (incl. NaN payloads) across the ingest paths.
+  CCS_NOINLINE void AccumulateRowTerms(const double* row);
+
+  // Unchecked bodies of the Matrix / MatrixView entry points. The view
+  // body late-materializes kViewGatherBlockRows-row blocks into reused
+  // cache-resident scratch (MatrixView::GatherBlock) and feeds them to
+  // AccumulateRowTerms — no full-size Matrix per call.
+  void AccumulateRowsImpl(const Matrix& data, size_t row_begin,
+                          size_t row_end);
+  void AccumulateRowsImpl(const MatrixView& data, size_t row_begin,
+                          size_t row_end);
+  template <typename DataLike>
+  void AddRowsSharded(const DataLike& data);
 
   size_t m_;
   int64_t n_;

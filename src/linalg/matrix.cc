@@ -5,6 +5,28 @@
 
 namespace ccs::linalg {
 
+namespace internal {
+
+void AccumulateRowsTimesMatrix(const double* rows, size_t row_count,
+                               size_t k_count, const Matrix& other,
+                               double* out) {
+  // i,k,j order: k ascending, each out entry accumulating in the same
+  // term order as Vector::Dot (no zero-skipping).
+  const size_t out_cols = other.cols();
+  for (size_t i = 0; i < row_count; ++i) {
+    const double* row = rows + i * k_count;
+    double* out_row = out + i * out_cols;
+    for (size_t k = 0; k < k_count; ++k) {
+      double aik = row[k];
+      for (size_t j = 0; j < out_cols; ++j) {
+        out_row[j] += aik * other.At(k, j);
+      }
+    }
+  }
+}
+
+}  // namespace internal
+
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     : rows_(rows.size()), cols_(0) {
   for (const auto& row : rows) {
@@ -42,17 +64,11 @@ Matrix Matrix::Identity(size_t n) {
 
 Matrix Matrix::Multiply(const Matrix& other) const {
   CCS_CHECK_EQ(cols_, other.rows_);
-  Matrix out(rows_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      double aik = At(i, k);
-      if (aik == 0.0) continue;
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out.At(i, j) += aik * other.At(k, j);
-      }
-    }
-  }
-  return out;
+  // No zero-skipping: 0 * NaN and 0 * Inf are NaN, so skipping aik == 0
+  // terms would make Multiply diverge from MultiplyRowRange (and per-row
+  // Vector::Dot) exactly when the data contains non-finite cells,
+  // breaking the exact-term-order determinism contract.
+  return MultiplyRowRange(0, rows_, other);
 }
 
 Matrix Matrix::MultiplyRowRange(size_t row_begin, size_t row_end,
@@ -60,17 +76,14 @@ Matrix Matrix::MultiplyRowRange(size_t row_begin, size_t row_end,
   CCS_CHECK_EQ(cols_, other.rows_);
   CCS_CHECK(row_begin <= row_end && row_end <= rows_);
   Matrix out(row_end - row_begin, other.cols_);
+  if (other.cols_ == 0 || row_begin == row_end) return out;
   // i,k,j loop order: out(i,j) accumulates over k in increasing order,
   // matching Vector::Dot term order exactly (no zero-skipping), so the
-  // batched path reproduces per-row results bit for bit.
-  for (size_t i = row_begin; i < row_end; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      double aik = At(i, k);
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out.At(i - row_begin, j) += aik * other.At(k, j);
-      }
-    }
-  }
+  // batched path reproduces per-row results bit for bit — via the
+  // shared out-of-line kernel MatrixView::MultiplyRowRange also runs.
+  internal::AccumulateRowsTimesMatrix(data_.data() + row_begin * cols_,
+                                      row_end - row_begin, cols_, other,
+                                      &out.At(0, 0));
   return out;
 }
 

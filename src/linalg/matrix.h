@@ -12,6 +12,32 @@
 
 namespace ccs::linalg {
 
+class Matrix;
+
+namespace internal {
+
+/// The single compiled i,k,j block kernel behind BOTH
+/// Matrix::MultiplyRowRange and MatrixView::MultiplyRowRange:
+/// out[i*other.cols() + j] += rows[i*k_count + k] * other(k, j), with i
+/// outer, k ascending, j inner — Vector::Dot's term order per output
+/// entry, no zero-skipping. Never inlined (CCS_NOINLINE): both entry
+/// points must execute the same machine code, or compiler-chosen FP
+/// operand orderings could propagate different NaN payloads and break
+/// the bitwise path-equivalence contract.
+///
+/// \param rows      row_count contiguous row-major rows of k_count
+///                  doubles (a Matrix row range, or a gathered block).
+/// \param row_count Number of left-factor rows.
+/// \param k_count   Inner dimension; must equal other.rows().
+/// \param other     Right factor.
+/// \param out       row_count x other.cols() row-major doubles,
+///                  accumulated into (callers pass freshly zeroed rows).
+CCS_NOINLINE void AccumulateRowsTimesMatrix(const double* rows,
+                                            size_t row_count, size_t k_count,
+                                            const Matrix& other, double* out);
+
+}  // namespace internal
+
 /// A dense row-major matrix.
 ///
 /// Sized for the paper's regime (attribute counts m in the tens; Gram
@@ -55,7 +81,10 @@ class Matrix {
   /// The n x n identity.
   static Matrix Identity(size_t n);
 
-  /// this * other. Inner dimensions must agree.
+  /// this * other. Inner dimensions must agree. Accumulates in the same
+  /// i,k,j term order as MultiplyRowRange and Vector::Dot — no
+  /// zero-skipping — so the product is bitwise identical to per-row
+  /// evaluation even when either factor holds NaN or Inf cells.
   Matrix Multiply(const Matrix& other) const;
 
   /// rows [row_begin, row_end) of this * other, as a
