@@ -6,6 +6,10 @@
 #include "linalg/symmetric_eigen.h"
 #include "stats/divergence.h"
 
+// ccs-lint: allow-file(fp-accumulate): serial reference baseline —
+// eigenvalue folds in sorted order and per-window bounds; single
+// compiled path, never sharded across threads.
+
 namespace ccs::baselines {
 
 std::string ChangeDetection::name() const {

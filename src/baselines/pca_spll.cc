@@ -5,6 +5,10 @@
 #include "linalg/gram.h"
 #include "linalg/symmetric_eigen.h"
 
+// ccs-lint: allow-file(fp-accumulate): serial reference baseline —
+// eigenvalue folds in sorted order and per-tuple projections; single
+// compiled path, never sharded across threads.
+
 namespace ccs::baselines {
 
 std::string PcaSpll::name() const {

@@ -1,0 +1,95 @@
+// Annotated mutex and condition-variable wrappers.
+//
+// Thin, zero-overhead shims over std::mutex / std::condition_variable_any
+// whose only job is to carry the Clang thread-safety annotations
+// (common/thread_annotations.h) that the standard-library types lack:
+// with these, -Wthread-safety can prove at compile time that every
+// CCS_GUARDED_BY member is touched only under its mutex. All
+// mutex-holding classes in src/ use these instead of raw std::mutex
+// (enforced by tools/ccs_lint.py, rule `std-mutex`).
+//
+//   Mutex      std::mutex with annotated Lock/Unlock/TryLock.
+//   MutexLock  std::lock_guard equivalent (scoped capability).
+//   CondVar    condition variable usable with Mutex; Wait() declares via
+//              CCS_REQUIRES that the caller holds the mutex, matching
+//              the standard wait contract.
+
+#ifndef CCS_COMMON_MUTEX_H_
+#define CCS_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace ccs::common {
+
+/// A std::mutex carrying Clang capability annotations.
+class CCS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CCS_ACQUIRE() { mu_.lock(); }
+  void Unlock() CCS_RELEASE() { mu_.unlock(); }
+  bool TryLock() CCS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (the annotated std::lock_guard).
+class CCS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) CCS_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() CCS_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with Mutex.
+///
+/// Wait takes the mutex the caller already holds (CCS_REQUIRES) and, as
+/// with std::condition_variable, atomically releases it while blocked
+/// and reacquires it before returning — so from the analysis' point of
+/// view the capability is held continuously across the call, which is
+/// exactly the guarantee guarded-state predicates rely on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified; re-check the condition in a `while` loop
+  /// around the call (spurious wake-ups are allowed). There is
+  /// deliberately no predicate overload: a predicate lambda is its own
+  /// function context that the capability analysis cannot see into, so
+  /// guarded reads inside it would warn — the explicit loop keeps them
+  /// in the annotated caller.
+  void Wait(Mutex* mu) CCS_REQUIRES(mu) { WaitInternal(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // Out of the analysis' sight: std::condition_variable_any unlocks and
+  // relocks the mutex itself, a motion the capability model cannot
+  // express (the REQUIRES contract on the public Wait is the truth).
+  void WaitInternal(Mutex* mu) CCS_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu->mu_);
+  }
+
+  // condition_variable_any accepts any BasicLockable, which lets Wait
+  // work directly on Mutex without exposing the wrapped std::mutex.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ccs::common
+
+#endif  // CCS_COMMON_MUTEX_H_

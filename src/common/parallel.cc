@@ -40,20 +40,20 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     CCS_CHECK(!shutdown_) << "Submit on shut-down ThreadPool";
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -61,8 +61,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // Shutdown with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -84,16 +84,20 @@ ThreadPool& ThreadPool::Shared() {
 namespace {
 
 // Per-call state shared between the caller and its helper tasks. Chunks
-// are claimed via an atomic cursor so fast lanes take more work.
+// are claimed via an atomic cursor so fast lanes take more work. The
+// dispatch geometry (fn/n/chunk/total_chunks) is set once by the caller
+// before the first helper task is submitted and never written again.
 struct ForState {
-  const std::function<void(size_t, size_t)>* fn = nullptr;
-  size_t n = 0;
-  size_t chunk = 0;
+  const std::function<void(size_t, size_t)>* fn =
+      nullptr;        // ccs-lint: allow(guarded-by): immutable once helpers start
+  size_t n = 0;       // ccs-lint: allow(guarded-by): immutable once helpers start
+  size_t chunk = 0;   // ccs-lint: allow(guarded-by): immutable once helpers start
   std::atomic<size_t> next{0};
-  size_t total_chunks = 0;
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t chunks_done = 0;
+  size_t total_chunks =
+      0;              // ccs-lint: allow(guarded-by): immutable once helpers start
+  common::Mutex mu;
+  common::CondVar done_cv;
+  size_t chunks_done CCS_GUARDED_BY(mu) = 0;
 };
 
 void DrainChunks(ForState* state) {
@@ -104,10 +108,10 @@ void DrainChunks(ForState* state) {
     size_t end = std::min(state->n, begin + state->chunk);
     (*state->fn)(begin, end);
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(&state->mu);
       ++state->chunks_done;
     }
-    state->done_cv.notify_one();
+    state->done_cv.NotifyOne();
   }
 }
 
@@ -143,9 +147,10 @@ void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
     ThreadPool::Shared().Submit([state] { DrainChunks(state.get()); });
   }
   DrainChunks(state.get());
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(
-      lock, [&s = *state] { return s.chunks_done == s.total_chunks; });
+  MutexLock lock(&state->mu);
+  while (state->chunks_done != state->total_chunks) {
+    state->done_cv.Wait(&state->mu);
+  }
 }
 
 void ParallelForEach(size_t n, const std::function<void(size_t)>& fn,
@@ -175,9 +180,10 @@ void ParallelForEach(size_t n, const std::function<void(size_t)>& fn,
     ThreadPool::Shared().Submit([state] { DrainChunks(state.get()); });
   }
   DrainChunks(state.get());
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(
-      lock, [&s = *state] { return s.chunks_done == s.total_chunks; });
+  MutexLock lock(&state->mu);
+  while (state->chunks_done != state->total_chunks) {
+    state->done_cv.Wait(&state->mu);
+  }
 }
 
 }  // namespace ccs::common

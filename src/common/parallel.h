@@ -18,13 +18,14 @@
 #ifndef CCS_COMMON_PARALLEL_H_
 #define CCS_COMMON_PARALLEL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ccs::common {
 
@@ -49,7 +50,7 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
   /// Enqueues a task for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CCS_EXCLUDES(mu_);
 
   /// True when called from inside one of this process's pool workers.
   static bool InWorker();
@@ -59,13 +60,15 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CCS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ CCS_GUARDED_BY(mu_);
+  bool shutdown_ CCS_GUARDED_BY(mu_) = false;
+  // Written only while single-threaded (constructor spawn, destructor
+  // join) — the workers themselves never touch the vector.
+  std::vector<std::thread> threads_;  // ccs-lint: allow(guarded-by): ctor/dtor only, no concurrent access
 };
 
 /// Tuning knobs for ParallelFor.

@@ -33,6 +33,8 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
   double r = Uniform(0.0, total);
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
+    // ccs-lint: allow(fp-accumulate): CDF walk — the running sum defines
+    // the draw and is inherently sequential; single compiled copy.
     acc += weights[i];
     if (r < acc) return i;
   }

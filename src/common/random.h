@@ -13,6 +13,16 @@ namespace ccs {
 ///
 /// All experiment and generator code takes an Rng (or a seed) explicitly so
 /// every benchmark/test run is reproducible. Wraps std::mt19937_64.
+///
+/// Thread affinity: an Rng is single-threaded state with no internal
+/// locking — every Draw advances engine_, so sharing one instance across
+/// threads is both a data race and a determinism leak (the interleaving
+/// would pick the sample order). Each thread must own its own Rng; code
+/// that fans out derives per-shard instances from a fixed per-shard seed
+/// (as synth/har.cc does per entity key), never by handing one generator
+/// to a pool. No library parallel path (common/parallel, stream/) takes
+/// an Rng, and the determinism contract (docs/architecture.md) keeps it
+/// that way.
 class Rng {
  public:
   /// Constructs an RNG from a fixed seed (default chosen arbitrarily).

@@ -1,0 +1,77 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These wrap Clang's capability analysis (-Wthread-safety): declare which
+// mutex guards which state, and lock-discipline violations — touching a
+// CCS_GUARDED_BY member without its mutex, calling a CCS_REQUIRES
+// function unlocked, leaking a lock out of a scope — become compile
+// errors in the Clang CI lane instead of TSan findings (or races) at
+// runtime. The analysis only tracks acquisitions through annotated
+// functions, and libstdc++'s std::mutex is not annotated, so all
+// annotated code locks through common/mutex.h (ccs::common::Mutex /
+// MutexLock / CondVar), never raw std::mutex — tools/ccs_lint.py's
+// `std-mutex` rule enforces the migration.
+//
+// Usage pattern (see common/bounded_queue.h for a complete example):
+//
+//   class Account {
+//    public:
+//     void Deposit(double amount) CCS_EXCLUDES(mu_) {
+//       MutexLock lock(&mu_);
+//       balance_ += amount;
+//     }
+//    private:
+//     Mutex mu_;
+//     double balance_ CCS_GUARDED_BY(mu_);
+//   };
+
+#ifndef CCS_COMMON_THREAD_ANNOTATIONS_H_
+#define CCS_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define CCS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CCS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Marks a type as a lockable capability (mutex-like).
+#define CCS_CAPABILITY(x) CCS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define CCS_SCOPED_CAPABILITY CCS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define CCS_GUARDED_BY(x) CCS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define CCS_PT_GUARDED_BY(x) CCS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function callable only while already holding the given mutex(es).
+#define CCS_REQUIRES(...) \
+  CCS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the given mutex(es) and returns holding them.
+#define CCS_ACQUIRE(...) \
+  CCS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given mutex(es); they must be held on entry.
+#define CCS_RELEASE(...) \
+  CCS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function that tries to acquire; first argument is the success value.
+#define CCS_TRY_ACQUIRE(...) \
+  CCS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be entered holding the given mutex(es) — the
+/// public-API side of CCS_REQUIRES, and the deadlock guard for
+/// self-locking entry points.
+#define CCS_EXCLUDES(...) \
+  CCS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Use only where
+/// the lock pattern is genuinely outside the analysis' model, with a
+/// comment saying why (docs/static_analysis.md, escape-hatch policy).
+#define CCS_NO_THREAD_SAFETY_ANALYSIS \
+  CCS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CCS_COMMON_THREAD_ANNOTATIONS_H_

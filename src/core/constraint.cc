@@ -85,6 +85,9 @@ double SimpleConstraint::ViolationAligned(
     const linalg::Vector& numeric_tuple) const {
   double acc = 0.0;
   for (const BoundedConstraint& c : conjuncts_) {
+    // ccs-lint: allow(fp-accumulate): importance-weighted fold in fixed
+    // conjunct order — every caller (serial or pool lane) scores a whole
+    // tuple with this one compiled loop, so the sum cannot diverge.
     acc += c.importance() * c.ViolationAligned(numeric_tuple);
   }
   // The importances sum to 1 only up to rounding; keep the contract that
@@ -244,6 +247,8 @@ StatusOr<double> ConformanceConstraint::Violation(
   }
   for (const DisjunctiveConstraint& d : disjunctions_) {
     CCS_ASSIGN_OR_RETURN(double v, d.Violation(df, row));
+    // ccs-lint: allow(fp-accumulate): fold over the fixed disjunction
+    // order; per-row scoring is serial within a lane by construction.
     acc += v;
   }
   return acc / static_cast<double>(groups);

@@ -51,6 +51,36 @@ StatusOr<StreamMonitor> StreamMonitor::Create(
   return StreamMonitor(std::move(quantifier), alarm_threshold);
 }
 
+StreamMonitor::StreamMonitor(StreamMonitor&& other) noexcept
+    : quantifier_(std::move(other.quantifier_)),
+      alarm_threshold_(other.alarm_threshold_) {
+  common::MutexLock lock(&other.mu_);
+  history_ = std::move(other.history_);
+}
+
+StreamMonitor& StreamMonitor::operator=(StreamMonitor&& other) noexcept {
+  if (this == &other) return *this;
+  quantifier_ = std::move(other.quantifier_);
+  alarm_threshold_ = other.alarm_threshold_;
+  std::vector<WindowScore> taken;
+  {
+    common::MutexLock lock(&other.mu_);
+    taken = std::move(other.history_);
+  }
+  common::MutexLock lock(&mu_);
+  history_ = std::move(taken);
+  return *this;
+}
+
+WindowScore StreamMonitor::CommitScore(double drift) {
+  WindowScore score;
+  score.window_index = history_.size();
+  score.drift = drift;
+  score.alarm = drift > alarm_threshold_;
+  history_.push_back(score);
+  return score;
+}
+
 StatusOr<WindowScore> StreamMonitor::ObserveWindow(
     const dataframe::DataFrame& window) {
   if (window.num_rows() == 0) {
@@ -58,12 +88,8 @@ StatusOr<WindowScore> StreamMonitor::ObserveWindow(
         "StreamMonitor::ObserveWindow: empty window");
   }
   CCS_ASSIGN_OR_RETURN(double drift, quantifier_.Score(window));
-  WindowScore score;
-  score.window_index = history_.size();
-  score.drift = drift;
-  score.alarm = drift > alarm_threshold_;
-  history_.push_back(score);
-  return score;
+  common::MutexLock lock(&mu_);
+  return CommitScore(drift);
 }
 
 StatusOr<std::vector<WindowScore>> StreamMonitor::ObserveWindows(
@@ -92,13 +118,9 @@ StatusOr<std::vector<WindowScore>> StreamMonitor::ObserveWindows(
   for (StatusOr<double>& drift : drifts) {
     if (!drift.ok()) return std::move(drift).status();
   }
+  common::MutexLock lock(&mu_);
   for (size_t i = 0; i < windows.size(); ++i) {
-    WindowScore score;
-    score.window_index = history_.size();
-    score.drift = drifts[i].value();
-    score.alarm = score.drift > alarm_threshold_;
-    history_.push_back(score);
-    out.push_back(score);
+    out.push_back(CommitScore(drifts[i].value()));
   }
   return out;
 }
@@ -108,8 +130,22 @@ Status StreamMonitor::RefreshReference(const SimpleConstraint& constraint) {
     return Status::InvalidArgument(
         "StreamMonitor::RefreshReference: constraint has no conjuncts");
   }
+  // Serialized with history snapshots: a concurrent history() reader
+  // sees the commit boundary either entirely before or entirely after
+  // the profile swap.
+  common::MutexLock lock(&mu_);
   quantifier_.Adopt(ConformanceConstraint(constraint, {}));
   return Status::OK();
+}
+
+std::vector<WindowScore> StreamMonitor::history() const {
+  common::MutexLock lock(&mu_);
+  return history_;
+}
+
+size_t StreamMonitor::history_size() const {
+  common::MutexLock lock(&mu_);
+  return history_.size();
 }
 
 }  // namespace ccs::core

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "core/constraint.h"
 #include "core/drift.h"
 #include "core/synthesizer.h"
@@ -60,6 +62,14 @@ struct WindowScore {
 };
 
 /// Scores consecutive serving windows against a reference profile.
+///
+/// Thread model: one observer thread at a time drives
+/// ObserveWindow/ObserveWindows/RefreshReference (the scoring *inside*
+/// ObserveWindows fans out over the pool, reading the profile
+/// lock-free), while the committed score history is mutex-guarded so
+/// other threads — a future `ccsynth serve` daemon polling alarm state
+/// per stream — may call history()/history_size() concurrently with the
+/// observer.
 class StreamMonitor {
  public:
   /// Learns the reference profile from `reference`; windows scoring above
@@ -68,9 +78,15 @@ class StreamMonitor {
       const dataframe::DataFrame& reference, double alarm_threshold,
       SynthesisOptions options = SynthesisOptions());
 
+  /// Movable (through StatusOr); moving while another thread observes or
+  /// reads the source is undefined, as for any move.
+  StreamMonitor(StreamMonitor&& other) noexcept;
+  StreamMonitor& operator=(StreamMonitor&& other) noexcept;
+
   /// Scores the next window. InvalidArgument on an empty window (the
   /// history is not advanced).
-  StatusOr<WindowScore> ObserveWindow(const dataframe::DataFrame& window);
+  StatusOr<WindowScore> ObserveWindow(const dataframe::DataFrame& window)
+      CCS_EXCLUDES(mu_);
 
   /// Scores a batch of windows concurrently (the reference profile is
   /// fixed between refreshes) and appends the scores to the history in
@@ -83,8 +99,8 @@ class StreamMonitor {
   ///                     Scores are independent per window, so the lane
   ///                     count never changes the result.
   StatusOr<std::vector<WindowScore>> ObserveWindows(
-      const std::vector<dataframe::DataFrame>& windows,
-      size_t num_threads = 0);
+      const std::vector<dataframe::DataFrame>& windows, size_t num_threads = 0)
+      CCS_EXCLUDES(mu_);
 
   /// Swaps the reference profile for a freshly synthesized global
   /// constraint — the serving half of the §4.3.2 refresh loop, fed by
@@ -94,10 +110,15 @@ class StreamMonitor {
   /// global simple constraint only (incremental maintenance of
   /// disjunctive cases is not implemented); InvalidArgument when
   /// `constraint` has no conjuncts.
-  Status RefreshReference(const SimpleConstraint& constraint);
+  Status RefreshReference(const SimpleConstraint& constraint)
+      CCS_EXCLUDES(mu_);
 
-  /// All scores so far, in arrival order.
-  const std::vector<WindowScore>& history() const { return history_; }
+  /// A snapshot of all scores so far, in arrival order. Copies under the
+  /// lock; safe to call from any thread.
+  std::vector<WindowScore> history() const CCS_EXCLUDES(mu_);
+
+  /// Number of scores committed so far (cheaper than history().size()).
+  size_t history_size() const CCS_EXCLUDES(mu_);
 
   double alarm_threshold() const { return alarm_threshold_; }
 
@@ -106,9 +127,17 @@ class StreamMonitor {
       : quantifier_(std::move(quantifier)),
         alarm_threshold_(alarm_threshold) {}
 
-  ConformanceDriftQuantifier quantifier_;
-  double alarm_threshold_;
-  std::vector<WindowScore> history_;
+  // Commits `score` as the next history entry, filling its index.
+  WindowScore CommitScore(double drift) CCS_REQUIRES(mu_);
+
+  // Read lock-free by ObserveWindows' pool lanes while scoring; written
+  // only by the single observer thread (RefreshReference) between
+  // scoring batches, under mu_ so a concurrent history() reader never
+  // observes a half-swapped profile boundary.
+  ConformanceDriftQuantifier quantifier_;  // ccs-lint: allow(guarded-by): scored lock-free by pool lanes; single observer thread writes between batches
+  double alarm_threshold_;  // ccs-lint: allow(guarded-by): written only at construction
+  mutable common::Mutex mu_;
+  std::vector<WindowScore> history_ CCS_GUARDED_BY(mu_);
 };
 
 }  // namespace ccs::core

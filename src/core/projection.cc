@@ -24,6 +24,9 @@ StatusOr<double> Projection::Evaluate(const dataframe::DataFrame& df,
   double acc = 0.0;
   for (size_t j = 0; j < names_.size(); ++j) {
     CCS_ASSIGN_OR_RETURN(double v, df.NumericValue(row, names_[j]));
+    // ccs-lint: allow(fp-accumulate): by-name tuple dot product in
+    // declared attribute order — the same term order as the aligned
+    // Vector::Dot path, and serial in every caller.
     acc += coefficients_[j] * v;
   }
   return acc;

@@ -5,6 +5,10 @@
 
 #include "core/synthesizer.h"
 
+// ccs-lint: allow-file(fp-accumulate): closed-form single-attribute
+// repair folds conjuncts in declared order on the calling thread; one
+// compiled copy, no parallel twin.
+
 namespace ccs::core {
 
 namespace {

@@ -122,6 +122,8 @@ StatusOr<SimpleConstraint> Synthesizer::SynthesizeSimpleFromGram(
 
   // Line 8: normalize importance factors.
   double z = 0.0;
+  // ccs-lint: allow(fp-accumulate): normalizer folded in candidate
+  // (attribute) order on the one synthesis thread; never sharded.
   for (const Candidate& c : candidates) z += c.raw_importance;
 
   std::vector<BoundedConstraint> conjuncts;

@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+// ccs-lint: allow-file(fp-accumulate): loop-carried dependences make the
+// factorization and triangular solves inherently sequential — one order,
+// one compiled copy, no parallel twin to diverge from.
+
 namespace ccs::linalg {
 
 StatusOr<Matrix> CholeskyFactor(const Matrix& a) {

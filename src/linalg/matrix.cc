@@ -7,9 +7,9 @@ namespace ccs::linalg {
 
 namespace internal {
 
-void AccumulateRowsTimesMatrix(const double* rows, size_t row_count,
-                               size_t k_count, const Matrix& other,
-                               double* out) {
+CCS_NOINLINE void AccumulateRowsTimesMatrix(const double* rows,
+                                            size_t row_count, size_t k_count,
+                                            const Matrix& other, double* out) {
   // i,k,j order: k ascending, each out entry accumulating in the same
   // term order as Vector::Dot (no zero-skipping).
   const size_t out_cols = other.cols();
@@ -87,7 +87,7 @@ Matrix Matrix::MultiplyRowRange(size_t row_begin, size_t row_end,
   return out;
 }
 
-Vector Matrix::Multiply(const Vector& v) const {
+CCS_NOINLINE Vector Matrix::Multiply(const Vector& v) const {
   CCS_CHECK_EQ(cols_, v.size());
   Vector out(rows_);
   for (size_t i = 0; i < rows_; ++i) {

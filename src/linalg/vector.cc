@@ -6,7 +6,12 @@
 
 namespace ccs::linalg {
 
-double Vector::Dot(const Vector& other) const {
+// The BLAS-1 reductions below are blessed FP kernels: CCS_NOINLINE pins
+// one compiled copy of each inner loop, so every caller accumulates in
+// the identical instruction sequence (the batched matrix kernels match
+// Dot's term order — see linalg/matrix.h).
+
+CCS_NOINLINE double Vector::Dot(const Vector& other) const {
   CCS_CHECK_EQ(size(), other.size());
   double acc = 0.0;
   for (size_t i = 0; i < data_.size(); ++i) acc += data_[i] * other.data_[i];
@@ -15,7 +20,7 @@ double Vector::Dot(const Vector& other) const {
 
 double Vector::Norm() const { return std::sqrt(Dot(*this)); }
 
-double Vector::Sum() const {
+CCS_NOINLINE double Vector::Sum() const {
   double acc = 0.0;
   for (double v : data_) acc += v;
   return acc;
@@ -26,7 +31,7 @@ double Vector::Mean() const {
   return Sum() / static_cast<double>(size());
 }
 
-double Vector::Variance() const {
+CCS_NOINLINE double Vector::Variance() const {
   CCS_CHECK(!empty());
   double mu = Mean();
   double acc = 0.0;
@@ -46,7 +51,7 @@ double Vector::Max() const {
   return *std::max_element(data_.begin(), data_.end());
 }
 
-void Vector::Axpy(double alpha, const Vector& other) {
+CCS_NOINLINE void Vector::Axpy(double alpha, const Vector& other) {
   CCS_CHECK_EQ(size(), other.size());
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
 }

@@ -3,6 +3,10 @@
 #include "linalg/cholesky.h"
 #include "linalg/gram.h"
 
+// ccs-lint: allow-file(fp-accumulate): serial training baseline — the
+// normal-equation sums run in fixed row order on one thread and are not
+// part of the parallel scoring path the determinism contract guards.
+
 namespace ccs::ml {
 
 StatusOr<LinearRegression> LinearRegression::Fit(

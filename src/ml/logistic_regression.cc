@@ -4,6 +4,10 @@
 #include <cmath>
 #include <unordered_map>
 
+// ccs-lint: allow-file(fp-accumulate): serial SGD baseline — gradient
+// sums run in fixed row/epoch order on one thread, outside the parallel
+// scoring path the determinism contract guards.
+
 namespace ccs::ml {
 
 namespace {

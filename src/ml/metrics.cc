@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+// ccs-lint: allow-file(fp-accumulate): serial error-metric folds in
+// prediction order; evaluation-only, no parallel twin.
+
 namespace ccs::ml {
 
 namespace {

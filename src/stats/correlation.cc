@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+// ccs-lint: allow-file(fp-accumulate): serial product-moment sums in row
+// order; single compiled path with no batched or parallel twin.
+
 namespace ccs::stats {
 
 StatusOr<double> PearsonCorrelation(const linalg::Vector& x,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+// ccs-lint: allow-file(fp-accumulate): serial folds over the fixed
+// histogram bin order; single compiled path, never run concurrently.
+
 namespace ccs::stats {
 
 namespace {

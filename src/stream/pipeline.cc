@@ -5,12 +5,35 @@
 #include <utility>
 
 #include "common/bounded_queue.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ccs::stream {
 
 using common::BoundedQueue;
+using common::MutexLock;
 using core::WindowScore;
 using dataframe::DataFrame;
+
+namespace {
+
+// Cross-thread result slot for one pipeline stage. The stage thread
+// publishes its outcome under the mutex as it exits; the driving thread
+// reads it back (under the same mutex) after joining the stage. The
+// join alone would order the accesses, but the explicit lock keeps the
+// hand-off visible to the thread-safety analysis — and correct if a
+// future scheduler ever polls a stage before it finishes.
+struct StageResult {
+  common::Mutex mu;
+  Status status CCS_GUARDED_BY(mu);
+  // Stage-specific counters (rows ingested; windower telemetry).
+  size_t rows CCS_GUARDED_BY(mu) = 0;
+  size_t rows_copied CCS_GUARDED_BY(mu) = 0;
+  size_t buffer_reallocs CCS_GUARDED_BY(mu) = 0;
+  size_t buffer_capacity CCS_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
 
 StatusOr<StreamPipeline> StreamPipeline::Create(const DataFrame& reference,
                                                 StreamPipelineOptions options) {
@@ -68,7 +91,7 @@ Status StreamPipeline::CommitBatch(
   // Cadence counts the monitor's whole history, not this Run's windows,
   // so a stream served in segments refreshes at the same absolute window
   // indices as the same stream served in one Run.
-  if (monitor_.history().size() % options_.refresh_every == 0) {
+  if (monitor_.history_size() % options_.refresh_every == 0) {
     CCS_ASSIGN_OR_RETURN(core::SimpleConstraint refreshed,
                          profile_.Synthesize());
     CCS_RETURN_IF_ERROR(monitor_.RefreshReference(refreshed));
@@ -89,14 +112,21 @@ StatusOr<PipelineStats> StreamPipeline::Run(
 
   // ---- Stage 1: ingest. Parses schema-shaped chunks until EOF; each
   // Push blocks while the windowing stage is behind (backpressure).
-  Status ingest_status;
-  size_t rows_ingested = 0;
+  // The ccs-lint thread-spawn rule normally routes work through the
+  // common/parallel pool; these two spawns ARE the pipeline's stage
+  // structure (long-lived, one per stage, joined before Run returns),
+  // which a bounded task pool cannot express without risking
+  // pool-exhaustion deadlock between blocking stages.
+  StageResult ingest_result;
+  // ccs-lint: allow(thread-spawn): dedicated stage thread, joined below; pool tasks must not block on queues
   std::thread ingest([&] {
+    Status status;
+    size_t rows_ingested = 0;
     dataframe::CsvChunkReader reader(&in, schema_, csv_options);
     for (;;) {
       StatusOr<DataFrame> chunk = reader.ReadChunk(options_.chunk_rows);
       if (!chunk.ok()) {
-        ingest_status = std::move(chunk).status();
+        status = std::move(chunk).status();
         break;
       }
       if (chunk->num_rows() == 0) break;  // End of stream.
@@ -104,44 +134,48 @@ StatusOr<PipelineStats> StreamPipeline::Run(
       if (!chunk_queue.Push(std::move(*chunk))) break;  // Cancelled.
     }
     chunk_queue.Close();
+    MutexLock lock(&ingest_result.mu);
+    ingest_result.status = std::move(status);
+    ingest_result.rows = rows_ingested;
   });
 
   // ---- Stage 2: windowing. Reassembles chunks into windows; emits in
   // stream order into the (bounded) window queue.
-  Status window_status;
-  size_t window_rows_copied = 0;
-  size_t window_buffer_reallocs = 0;
-  size_t window_buffer_capacity = 0;
+  StageResult window_result;
+  // ccs-lint: allow(thread-spawn): dedicated stage thread, joined below; pool tasks must not block on queues
   std::thread windowing([&] {
+    Status status;
     StatusOr<Windower> windower =
         Windower::Create(options_.window_rows, options_.slide_rows);
     if (!windower.ok()) {
-      window_status = windower.status();
+      status = windower.status();
     } else {
       while (std::optional<DataFrame> chunk = chunk_queue.Pop()) {
         StatusOr<std::vector<DataFrame>> windows = windower->Push(*chunk);
         if (!windows.ok()) {
-          window_status = std::move(windows).status();
+          status = std::move(windows).status();
           break;
         }
         for (DataFrame& w : *windows) {
           if (!window_queue.Push(std::move(w))) {
-            window_status = Status::OK();  // Cancelled downstream; not an error.
+            status = Status::OK();  // Cancelled downstream; not an error.
             goto done;
           }
         }
       }
     }
   done:
-    if (windower.ok()) {
-      window_rows_copied = windower->rows_copied_out();
-      window_buffer_reallocs = windower->buffer_reallocs();
-      window_buffer_capacity = windower->buffer_capacity_rows();
-    }
     // On error, also unblock the ingest stage (its Push would otherwise
     // wait forever on a full chunk queue).
     chunk_queue.Close();
     window_queue.Close();
+    MutexLock lock(&window_result.mu);
+    window_result.status = std::move(status);
+    if (windower.ok()) {
+      window_result.rows_copied = windower->rows_copied_out();
+      window_result.buffer_reallocs = windower->buffer_reallocs();
+      window_result.buffer_capacity = windower->buffer_capacity_rows();
+    }
   });
 
   // ---- Stage 3: scoring + ordered commit on the calling thread. Drains
@@ -158,7 +192,7 @@ StatusOr<PipelineStats> StreamPipeline::Run(
       // the refreshed profile.
       size_t until_refresh =
           options_.refresh_every -
-          monitor_.history().size() % options_.refresh_every;
+          monitor_.history_size() % options_.refresh_every;
       if (until_refresh < cap) cap = until_refresh;
     }
     while (batch.size() < cap) {
@@ -178,16 +212,22 @@ StatusOr<PipelineStats> StreamPipeline::Run(
   ingest.join();
   windowing.join();
 
-  CCS_RETURN_IF_ERROR(ingest_status);
-  CCS_RETURN_IF_ERROR(window_status);
+  {
+    MutexLock lock(&ingest_result.mu);
+    CCS_RETURN_IF_ERROR(ingest_result.status);
+    stats.rows_ingested = ingest_result.rows;
+  }
+  {
+    MutexLock lock(&window_result.mu);
+    CCS_RETURN_IF_ERROR(window_result.status);
+    stats.window_rows_copied = window_result.rows_copied;
+    stats.window_buffer_reallocs = window_result.buffer_reallocs;
+    stats.window_buffer_capacity_rows = window_result.buffer_capacity;
+  }
   CCS_RETURN_IF_ERROR(commit_status);
 
-  stats.rows_ingested = rows_ingested;
   stats.chunk_queue_peak = chunk_queue.peak_depth();
   stats.window_queue_peak = window_queue.peak_depth();
-  stats.window_rows_copied = window_rows_copied;
-  stats.window_buffer_reallocs = window_buffer_reallocs;
-  stats.window_buffer_capacity_rows = window_buffer_capacity;
   stats.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -110,8 +110,9 @@ class StreamPipeline {
   /// The monitor accumulating the score history across Run calls.
   const core::StreamMonitor& monitor() const { return monitor_; }
 
-  /// All committed scores, in arrival order.
-  const std::vector<core::WindowScore>& history() const {
+  /// A snapshot of all committed scores, in arrival order (copies under
+  /// the monitor's lock; safe to call from any thread).
+  std::vector<core::WindowScore> history() const {
     return monitor_.history();
   }
 

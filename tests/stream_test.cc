@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -98,6 +100,56 @@ TEST(BoundedQueueTest, CloseUnblocksFullPush) {
   producer.join();
   EXPECT_TRUE(push_returned);
   EXPECT_FALSE(push_result);
+}
+
+TEST(BoundedQueueTest, CloseWhileBlockedPop) {
+  // A consumer blocked on an empty queue must wake on Close and observe
+  // end-of-stream, not hang or fabricate an element.
+  BoundedQueue<int> q(4);
+  std::optional<int> popped = 42;
+  std::thread consumer([&] {
+    popped = q.Pop();  // Blocks (nothing buffered) until Close.
+  });
+  // Give the consumer a beat to actually block; Close must wake it
+  // either way (it observes closed_ on entry if it loses the race).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(popped, std::nullopt);
+}
+
+TEST(BoundedQueueTest, DoubleCloseFromConcurrentThreads) {
+  // Two racing closers while both a push and a pop are blocked: every
+  // party must return (push refused, pop end-of-stream after drain),
+  // and the second Close must be a harmless no-op whichever order the
+  // scheduler picks.
+  for (int round = 0; round < 20; ++round) {
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.Push(7));  // Queue now full; the next Push blocks.
+    bool push_ok = false;
+    std::thread producer([&] { push_ok = q.Push(8); });
+    std::vector<int> got;
+    std::thread consumer([&] {
+      while (std::optional<int> v = q.Pop()) got.push_back(*v);
+    });
+    std::thread closer_a([&] { q.Close(); });
+    std::thread closer_b([&] { q.Close(); });
+    closer_a.join();
+    closer_b.join();
+    producer.join();
+    consumer.join();
+    // The blocked push either lost the race to Close (refused) or slid
+    // in as the consumer drained 7 — in which case 8 must also arrive.
+    ASSERT_FALSE(got.empty());
+    EXPECT_EQ(got.front(), 7);
+    if (push_ok) {
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_EQ(got[1], 8);
+    } else {
+      EXPECT_EQ(got.size(), 1u);
+    }
+    EXPECT_TRUE(q.closed());
+  }
 }
 
 TEST(BoundedQueueTest, MultiProducerDeliversEverything) {

@@ -1,0 +1,17 @@
+// Seeded violations for the bad-allow rule: every suppression must name
+// a real rule and carry a reason.
+
+#include <cstddef>
+
+namespace fixture {
+
+// ccs-lint: allow(fp-accumulate)  EXPECT-LINT: bad-allow
+void ReasonlessAllow() {}
+
+// ccs-lint: allow(made-up-rule): not a rule the linter knows  EXPECT-LINT: bad-allow
+void UnknownRuleAllow() {}
+
+// ccs-lint: this is not even the allow grammar  EXPECT-LINT: bad-allow
+void MalformedComment() {}
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// A fixture with no findings: the blessed and annotated shapes the
+// linter must accept without any suppression.
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+// FP accumulation belongs in a CCS_NOINLINE kernel.
+CCS_NOINLINE double DotKernel(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// Mutex-holding classes annotate every guarded member.
+class Queue {
+ public:
+  bool Push(int v) CCS_EXCLUDES(mu_);
+  void Close() CCS_EXCLUDES(mu_);
+
+ private:
+  const size_t capacity_ = 16;
+  mutable common::Mutex mu_;
+  common::CondVar not_empty_;
+  std::deque<int> items_ CCS_GUARDED_BY(mu_);
+  bool closed_ CCS_GUARDED_BY(mu_) = false;
+  std::atomic<size_t> pops_{0};
+};
+
+// Non-FP loops and non-loop FP arithmetic are out of scope.
+double Scale(double x, size_t n) {
+  double y = x;
+  y += static_cast<double>(n);
+  return y;
+}
+
+}  // namespace fixture

@@ -1,0 +1,66 @@
+// Seeded violations for the fp-accumulate rule. Never compiled — linted
+// only by tools/ccs_lint.py --self-test; EXPECT-LINT markers declare
+// exactly which findings the linter must produce.
+
+#include <cstddef>
+
+namespace fixture {
+
+double MacInForLoop(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += a[i] * b[i];  // EXPECT-LINT: fp-accumulate
+  }
+  return acc;
+}
+
+double SingleLineMac(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc -= a[i] * b[i];  // EXPECT-LINT: fp-accumulate
+  return acc;
+}
+
+double ScalarReduction(const double* a, size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += a[i];  // EXPECT-LINT: fp-accumulate
+  }
+  return total;
+}
+
+// Blessed: a CCS_NOINLINE body is a contract kernel; accumulation
+// inside it is the point, not a violation.
+CCS_NOINLINE double BlessedKernel(const double* a, const double* b,
+                                  size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// A declaration-only CCS_NOINLINE must not bless the next function.
+CCS_NOINLINE double BlessedElsewhere(const double* a, size_t n);
+
+double NotBlessedByDeclarationAbove(const double* a, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * a[i];  // EXPECT-LINT: fp-accumulate
+  return acc;
+}
+
+// Suppressed: an explained allow on the preceding comment line.
+double ExplainedFold(const double* w, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // ccs-lint: allow(fp-accumulate): fixture demo of an explained fold
+    acc += w[i];
+  }
+  return acc;
+}
+
+// Integer accumulation is not a floating-point contract concern.
+size_t IntegerSum(const size_t* a, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += a[i];
+  return count;
+}
+
+}  // namespace fixture

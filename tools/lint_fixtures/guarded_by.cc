@@ -1,0 +1,36 @@
+// Seeded violations for the guarded-by rule: a class holding a Mutex by
+// value must annotate every mutable member with CCS_GUARDED_BY (or be
+// const/atomic, or explain itself).
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Guarded {
+ public:
+  void Poke() CCS_EXCLUDES(mu_);
+  size_t size() const CCS_EXCLUDES(mu_);
+
+ private:
+  common::Mutex mu_;
+  std::vector<int> items_ CCS_GUARDED_BY(mu_);
+  bool closed_ CCS_GUARDED_BY(mu_) = false;
+  size_t peak_;  // EXPECT-LINT: guarded-by
+  double total_ = 0.0;  // EXPECT-LINT: guarded-by
+  std::atomic<size_t> hits_{0};
+  const size_t capacity_ = 8;
+  // ccs-lint: allow(guarded-by): fixture demo — written before threads start
+  size_t config_;
+};
+
+// No mutex member: nothing to demand.
+struct Unlocked {
+  size_t count = 0;
+  double mean = 0.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// ccs-lint-fixture-path: src/linalg/fixture_kernels.cc
+// Seeded violations for the kernel-noinline rule: functions in the
+// blessed linalg::internal namespace must carry CCS_NOINLINE. The
+// fixture-path header makes the linter treat this file as part of
+// src/linalg.
+
+#include <cstddef>
+
+namespace ccs::linalg {
+namespace internal {
+
+void UnpinnedKernel(const double* a, size_t n, double* out) {  // EXPECT-LINT: kernel-noinline
+  for (size_t i = 0; i < n; ++i) out[0] += a[i] * a[i];
+}
+
+CCS_NOINLINE void PinnedKernel(const double* a, size_t n, double* out) {
+  // Blessed on both counts: in the internal namespace (fp-accumulate
+  // suppressed) and carrying the macro (kernel-noinline satisfied).
+  for (size_t i = 0; i < n; ++i) out[0] += a[i] * a[i];
+}
+
+CCS_NOINLINE double PinnedMultiLineSignature(const double* a,
+                                             const double* b,
+                                             size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace internal
+
+// Outside the internal namespace the rule does not apply, but the
+// fp-accumulate rule does again.
+double PlainHelper(const double* a, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * a[i];  // EXPECT-LINT: fp-accumulate
+  return acc;
+}
+
+}  // namespace ccs::linalg

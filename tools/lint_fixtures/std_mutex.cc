@@ -1,0 +1,20 @@
+// Seeded violations for the std-mutex rule: raw standard-library
+// synchronization primitives are invisible to Clang's thread-safety
+// analysis; everything outside src/common/mutex.h must use the
+// annotated common::Mutex / MutexLock / CondVar wrappers.
+
+#include <mutex>
+
+namespace fixture {
+
+void LocksRawMutex() {
+  static std::mutex mu;  // EXPECT-LINT: std-mutex
+  std::lock_guard<std::mutex> lock(mu);  // EXPECT-LINT: std-mutex
+}
+
+void WaitsOnRawCondVar() {
+  std::condition_variable cv;  // EXPECT-LINT: std-mutex
+  cv.notify_all();
+}
+
+}  // namespace fixture

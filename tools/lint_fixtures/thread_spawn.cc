@@ -1,0 +1,25 @@
+// Seeded violations for the thread-spawn rule: std::thread belongs in
+// src/common/parallel only; everything else routes work through the
+// shared pool or explains itself.
+
+#include <thread>
+
+namespace fixture {
+
+void SpawnsDirectly() {
+  std::thread worker([] {});  // EXPECT-LINT: thread-spawn
+  worker.join();
+}
+
+void SpawnsWithExplanation() {
+  // ccs-lint: allow(thread-spawn): fixture demo of an explained spawn
+  std::thread stage([] {});
+  stage.join();
+}
+
+void MentionsThreadsOnlyInComments() {
+  // Talking about std::thread in a comment is fine; the linter strips
+  // comments before matching tokens.
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Seeded violation for the unused-allow rule: a suppression that
+// suppresses nothing is stale and must be removed, so allows cannot
+// quietly outlive the code they excused.
+
+#include <cstddef>
+
+namespace fixture {
+
+// ccs-lint: allow(thread-spawn): nothing here spawns  EXPECT-LINT: unused-allow
+void NoThreadsHere() {}
+
+// ccs-lint: allow-file(std-mutex): no raw primitives in this file  EXPECT-LINT: unused-allow
+void NoMutexesEither() {}
+
+}  // namespace fixture
