@@ -18,4 +18,16 @@ StatusOr<std::vector<double>> ScoreSeries(
   return out;
 }
 
+std::vector<bool> AlarmSeries(const std::vector<double>& scores,
+                              double threshold) {
+  std::vector<bool> alarms;
+  alarms.reserve(scores.size());
+  for (double s : scores) {
+    // NaN compares false against everything, so a NaN score never
+    // alarms — the caller sees the non-finite score itself in the trace.
+    alarms.push_back(s > threshold);
+  }
+  return alarms;
+}
+
 }  // namespace ccs::baselines

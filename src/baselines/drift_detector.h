@@ -34,6 +34,16 @@ class DriftDetector {
 StatusOr<std::vector<double>> ScoreSeries(
     DriftDetector* detector, const std::vector<dataframe::DataFrame>& windows);
 
+/// Thresholds a score series into alarm bits: alarm iff score >
+/// `threshold` (strict — a window scoring exactly at the threshold does
+/// not alarm, matching StreamMonitor). NaN scores never alarm (every
+/// comparison with NaN is false); ±Inf behave as ordinary extremes
+/// (+Inf alarms against any finite threshold). The scenario gauntlet
+/// uses this one definition for every baseline so detector traces are
+/// comparable.
+std::vector<bool> AlarmSeries(const std::vector<double>& scores,
+                              double threshold);
+
 }  // namespace ccs::baselines
 
 #endif  // CCS_BASELINES_DRIFT_DETECTOR_H_

@@ -12,16 +12,23 @@ namespace {
 
 // Parses one logical CSV record (possibly spanning physical lines when a
 // quoted field contains newlines). Returns false at end of stream with no
-// data consumed.
+// data consumed. `lines_consumed`, when non-null, receives the number of
+// physical lines the record spanned (>= 1 whenever a record was read,
+// counting a final unterminated line as one) so callers can report
+// 1-based physical line numbers in diagnostics.
 StatusOr<bool> ReadRecord(std::istream& in, char delimiter,
-                          std::vector<std::string>* fields) {
+                          std::vector<std::string>* fields,
+                          size_t* lines_consumed = nullptr) {
   fields->clear();
+  if (lines_consumed != nullptr) *lines_consumed = 0;
   int first = in.peek();
   if (first == std::char_traits<char>::eof()) return false;
 
   std::string field;
   bool in_quotes = false;
   bool saw_any = false;
+  size_t lines = 0;
+  bool line_terminated = false;
   char c;
   while (in.get(c)) {
     saw_any = true;
@@ -34,6 +41,7 @@ StatusOr<bool> ReadRecord(std::istream& in, char delimiter,
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++lines;  // Embedded newline in a quoted field.
         field.push_back(c);
       }
       continue;
@@ -44,16 +52,22 @@ StatusOr<bool> ReadRecord(std::istream& in, char delimiter,
       fields->push_back(std::move(field));
       field.clear();
     } else if (c == '\n') {
+      ++lines;
+      line_terminated = true;
       break;
     } else if (c == '\r') {
       if (in.peek() == '\n') in.get(c);
+      ++lines;
+      line_terminated = true;
       break;
     } else {
       field.push_back(c);
     }
   }
+  if (saw_any && !line_terminated) ++lines;  // EOF without a newline.
+  if (lines_consumed != nullptr) *lines_consumed = lines;
   if (in_quotes) {
-    return Status::InvalidArgument("CSV: unterminated quoted field");
+    return Status::InvalidArgument("unterminated quoted field");
   }
   if (!saw_any) return false;
   fields->push_back(std::move(field));
@@ -78,8 +92,11 @@ StatusOr<DataFrame> ReadCsv(std::istream& in, const CsvOptions& options) {
 
   std::vector<std::string> record;
   while (true) {
-    CCS_ASSIGN_OR_RETURN(bool got, ReadRecord(in, options.delimiter, &record));
-    if (!got) break;
+    StatusOr<bool> got_or = ReadRecord(in, options.delimiter, &record);
+    if (!got_or.ok()) {
+      return Status::InvalidArgument("CSV: " + got_or.status().message());
+    }
+    if (!*got_or) break;
     if (row_index == 0) {
       num_cols = record.size();
       cells.resize(num_cols);
@@ -168,9 +185,15 @@ Status CsvChunkReader::ReadHeader() {
     return Status::OK();
   }
   std::vector<std::string> header;
-  CCS_ASSIGN_OR_RETURN(bool got,
-                       ReadRecord(*in_, options_.delimiter, &header));
-  if (!got) {
+  size_t header_lines = 0;
+  StatusOr<bool> got = ReadRecord(*in_, options_.delimiter, &header,
+                                  &header_lines);
+  if (!got.ok()) {
+    return Status::InvalidArgument("CsvChunkReader: header (line 1): " +
+                                   got.status().message());
+  }
+  line_ += header_lines;
+  if (!*got) {
     return Status::InvalidArgument("CsvChunkReader: empty input");
   }
   stream_columns_ = header.size();
@@ -195,38 +218,67 @@ Status CsvChunkReader::ReadHeader() {
 }
 
 StatusOr<DataFrame> CsvChunkReader::ReadChunk(size_t max_rows) {
+  // A malformed row diagnosed on the previous call (after good rows had
+  // already been parsed into that chunk) was deferred so the good prefix
+  // could be delivered first; surface it now.
+  if (!pending_error_.ok()) {
+    Status error = std::move(pending_error_);
+    pending_error_ = Status::OK();
+    return error;
+  }
   if (!header_done_) CCS_RETURN_IF_ERROR(ReadHeader());
 
   const size_t m = schema_.num_attributes();
   std::vector<std::vector<double>> numeric(m);
   std::vector<std::vector<uint32_t>> categorical(m);
 
+  // Diagnoses the malformed record on physical line `record_line` and
+  // either returns it (no rows parsed yet) or stashes it and truncates
+  // the partially-parsed row, so the caller first receives every good
+  // row and then — on its next call — the error. Teardown behavior is
+  // therefore independent of where chunk boundaries fall.
   std::vector<std::string> record;
   size_t rows = 0;
+  Status malformed;
   while (rows < max_rows) {
-    CCS_ASSIGN_OR_RETURN(bool got,
-                         ReadRecord(*in_, options_.delimiter, &record));
-    if (!got) break;
+    size_t record_lines = 0;
+    StatusOr<bool> got =
+        ReadRecord(*in_, options_.delimiter, &record, &record_lines);
+    const size_t record_line = line_ + 1;  // 1-based physical line.
+    line_ += record_lines;
+    if (!got.ok()) {
+      malformed = Status::InvalidArgument(
+          "CsvChunkReader: line " + std::to_string(record_line) +
+          " (data row " + std::to_string(rows_read_ + rows + 1) + "): " +
+          got.status().message());
+      break;
+    }
+    if (!*got) break;  // End of stream.
     // Header-mapped streams must match the header width exactly (the
     // ragged-row rule of ReadCsv); headerless streams may carry extra
     // trailing fields beyond the schema's.
     bool ragged = options_.has_header ? record.size() != stream_columns_
                                       : record.size() < stream_columns_;
     if (ragged) {
-      return Status::InvalidArgument(
-          "CsvChunkReader: row " + std::to_string(rows_read_ + rows) +
-          " has " + std::to_string(record.size()) + " fields, expected " +
+      malformed = Status::InvalidArgument(
+          "CsvChunkReader: line " + std::to_string(record_line) +
+          " (data row " + std::to_string(rows_read_ + rows + 1) + "): has " +
+          std::to_string(record.size()) + " fields, expected " +
           std::to_string(stream_columns_));
+      break;
     }
     for (size_t i = 0; i < m; ++i) {
       const std::string& cell = record[col_map_[i]];
       if (schema_.attribute(i).type == AttributeType::kNumeric) {
         auto parsed = NumericCell(cell, options_.missing_numeric);
         if (!parsed.has_value()) {
-          return Status::InvalidArgument(
-              "CsvChunkReader: row " + std::to_string(rows_read_ + rows) +
-              ", column '" + schema_.attribute(i).name + "': cannot parse '" +
-              cell + "' as a number");
+          malformed = Status::InvalidArgument(
+              "CsvChunkReader: line " + std::to_string(record_line) +
+              " (data row " + std::to_string(rows_read_ + rows + 1) +
+              "), column '" + schema_.attribute(i).name + "' (stream field " +
+              std::to_string(col_map_[i]) + "): cannot parse '" + cell +
+              "' as a number");
+          break;
         }
         numeric[i].push_back(*parsed);
       } else {
@@ -236,7 +288,19 @@ StatusOr<DataFrame> CsvChunkReader::ReadChunk(size_t max_rows) {
         categorical[i].push_back(dicts_[i].Intern(cell));
       }
     }
+    if (!malformed.ok()) break;
     ++rows;
+  }
+
+  if (!malformed.ok()) {
+    if (rows == 0) return malformed;  // Nothing good to deliver first.
+    pending_error_ = std::move(malformed);
+    // Drop the malformed row's partially-parsed cells: every per-column
+    // vector must end at the last good row.
+    for (size_t i = 0; i < m; ++i) {
+      if (numeric[i].size() > rows) numeric[i].resize(rows);
+      if (categorical[i].size() > rows) categorical[i].resize(rows);
+    }
   }
 
   DataFrame df;

@@ -65,11 +65,25 @@ class CsvChunkReader {
   /// Parses up to `max_rows` data rows into a DataFrame with exactly
   /// the schema's columns in schema order. Returns a 0-row frame at end
   /// of stream; InvalidArgument on ragged rows, unparseable numeric
-  /// cells, or a header missing schema columns.
+  /// cells, unterminated quotes, or a header missing schema columns.
+  ///
+  /// Malformed mid-stream rows are diagnosed structurally — the error
+  /// message carries the 1-based physical line, the 1-based data row,
+  /// and (for cell errors) the schema column, stream field index, and
+  /// offending cell text. When good rows were already parsed into the
+  /// current chunk, that good prefix is returned first and the error is
+  /// deferred to the *next* ReadChunk call, so every well-formed row
+  /// before the malformation is delivered exactly once regardless of
+  /// where chunk boundaries fall (StreamPipeline scores those windows,
+  /// then tears down cleanly with this status).
   StatusOr<DataFrame> ReadChunk(size_t max_rows);
 
   /// Data rows successfully returned so far (header excluded).
   size_t rows_read() const { return rows_read_; }
+
+  /// Physical lines consumed so far (header and quoted-field newlines
+  /// included) — the line counter the malformed-row diagnostics report.
+  size_t lines_consumed() const { return line_; }
 
   const Schema& schema() const { return schema_; }
 
@@ -86,6 +100,9 @@ class CsvChunkReader {
   size_t stream_columns_ = 0;
   bool header_done_ = false;
   size_t rows_read_ = 0;
+  size_t line_ = 0;  // Physical lines consumed.
+  // Malformed-row error deferred until the good prefix is delivered.
+  Status pending_error_;
 };
 
 /// Writes a DataFrame as CSV (header row + data rows). Fields containing

@@ -1,0 +1,178 @@
+#include "scenario/runner.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "dataframe/csv.h"
+#include "stream/pipeline.h"
+#include "stream/windower.h"
+
+namespace ccs::scenario {
+
+using dataframe::DataFrame;
+
+namespace {
+
+// Raw IEEE-754 bits, NaN canonicalized to one quiet-NaN pattern: NaN
+// *payloads* are not stable across separate compilations of FP kernels
+// (observed on GCC — docs/architecture.md), but NaN-ness is.
+std::string ScoreBits(double score) {
+  double canonical =
+      std::isnan(score) ? std::numeric_limits<double>::quiet_NaN() : score;
+  uint64_t bits = 0;
+  std::memcpy(&bits, &canonical, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+std::string ScoreHuman(double score) {
+  if (std::isnan(score)) return "nan";
+  return FormatDouble(score);
+}
+
+bool AlarmAt(double score, double threshold) {
+  // Strict >, and NaN never alarms — the AlarmSeries contract
+  // (baselines/drift_detector.h).
+  return score > threshold;
+}
+
+}  // namespace
+
+std::string ScenarioTrace::ToString() const {
+  std::string out = "gauntlet-trace v1\n";
+  out += "scenario=" + scenario + " detector=" + detector +
+         " seed=" + std::to_string(seed) + "\n";
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kRefresh) {
+      out += "refresh windows=" + std::to_string(e.window_index) + "\n";
+      continue;
+    }
+    out += "window " + std::to_string(e.window_index) +
+           " score=" + ScoreBits(e.score) + " (" + ScoreHuman(e.score) +
+           ") alarm=" + (e.alarm ? "1" : "0") + "\n";
+  }
+  out += "end status=" + terminal.ToString() +
+         " rows=" + std::to_string(rows_ingested) +
+         " windows=" + std::to_string(windows_scored) +
+         " alarms=" + std::to_string(alarms) +
+         " refreshes=" + std::to_string(refreshes) + "\n";
+  return out;
+}
+
+StatusOr<ScenarioTrace> RunScenario(const ScenarioSpec& spec, uint64_t seed,
+                                    size_t num_threads) {
+  CCS_ASSIGN_OR_RETURN(RenderedScenario rendered, Render(spec, seed));
+
+  ScenarioTrace trace;
+  trace.scenario = spec.name;
+  trace.detector = "ccsynth";
+  trace.seed = seed;
+
+  stream::StreamPipelineOptions options;
+  options.window_rows = spec.window_rows;
+  options.slide_rows = spec.slide_rows;
+  options.alarm_threshold = spec.alarm_threshold;
+  options.refresh_every = spec.refresh_every;
+  options.num_threads = num_threads;
+  options.chunk_rows = spec.chunk_rows;
+  // Both callbacks run on the calling thread, in commit order.
+  options.on_refresh = [&trace](size_t windows_scored) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kRefresh;
+    e.window_index = windows_scored;
+    trace.events.push_back(e);
+    ++trace.refreshes;
+  };
+
+  CCS_ASSIGN_OR_RETURN(
+      stream::StreamPipeline pipeline,
+      stream::StreamPipeline::Create(rendered.reference, options));
+
+  std::istringstream in(rendered.stream.ToCsv());
+  StatusOr<stream::PipelineStats> stats =
+      pipeline.Run(in, [&trace](const core::WindowScore& score) {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::kWindow;
+        e.window_index = score.window_index;
+        e.score = score.drift;
+        e.alarm = score.alarm;
+        trace.events.push_back(e);
+        ++trace.windows_scored;
+        if (score.alarm) ++trace.alarms;
+      });
+  if (stats.ok()) {
+    trace.rows_ingested = stats->rows_ingested;
+  } else {
+    // Teardown error: the windows committed before it are part of the
+    // trace; row counts are not reported (they depend on where ingest
+    // stopped relative to the failure, which IS deterministic, but the
+    // stats snapshot is not returned on error).
+    trace.terminal = stats.status();
+  }
+  return trace;
+}
+
+StatusOr<ScenarioTrace> RunBaseline(const ScenarioSpec& spec, uint64_t seed,
+                                    baselines::DriftDetector* detector) {
+  CCS_ASSIGN_OR_RETURN(RenderedScenario rendered, Render(spec, seed));
+  CCS_RETURN_IF_ERROR(detector->Fit(rendered.reference));
+
+  ScenarioTrace trace;
+  trace.scenario = spec.name;
+  trace.detector = detector->name();
+  trace.seed = seed;
+
+  // Serial equivalent of the pipeline's ingest -> window loop (same
+  // CsvChunkReader + Windower, so malformed streams tear down with the
+  // identical structured error).
+  std::istringstream in(rendered.stream.ToCsv());
+  dataframe::CsvChunkReader reader(&in, rendered.reference.schema());
+  CCS_ASSIGN_OR_RETURN(
+      stream::Windower windower,
+      stream::Windower::Create(spec.window_rows, spec.slide_rows));
+  const size_t chunk_rows = spec.chunk_rows == 0 ? 1 : spec.chunk_rows;
+  for (;;) {
+    StatusOr<DataFrame> chunk = reader.ReadChunk(chunk_rows);
+    if (!chunk.ok()) {
+      trace.terminal = chunk.status();
+      break;
+    }
+    if (chunk->num_rows() == 0) break;  // End of stream.
+    trace.rows_ingested += chunk->num_rows();
+    StatusOr<std::vector<DataFrame>> windows = windower.Push(*chunk);
+    if (!windows.ok()) {
+      trace.terminal = windows.status();
+      break;
+    }
+    for (const DataFrame& window : *windows) {
+      StatusOr<double> score = detector->Score(window);
+      if (!score.ok()) {
+        trace.terminal = score.status();
+        return trace;
+      }
+      TraceEvent e;
+      e.kind = TraceEvent::Kind::kWindow;
+      e.window_index = trace.windows_scored;
+      e.score = *score;
+      e.alarm = AlarmAt(*score, spec.alarm_threshold);
+      trace.events.push_back(e);
+      ++trace.windows_scored;
+      if (e.alarm) ++trace.alarms;
+    }
+  }
+  return trace;
+}
+
+bool TracesIdentical(const ScenarioTrace& a, const ScenarioTrace& b) {
+  return a.ToString() == b.ToString();
+}
+
+}  // namespace ccs::scenario

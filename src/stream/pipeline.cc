@@ -96,6 +96,7 @@ Status StreamPipeline::CommitBatch(
                          profile_.Synthesize());
     CCS_RETURN_IF_ERROR(monitor_.RefreshReference(refreshed));
     ++stats->refreshes;
+    if (options_.on_refresh) options_.on_refresh(monitor_.history_size());
   }
   return Status::OK();
 }

@@ -63,6 +63,12 @@ struct StreamPipelineOptions {
   /// Constraint-synthesis configuration for the reference profile and
   /// its refreshes.
   core::SynthesisOptions synthesis;
+  /// Invoked on the calling thread immediately after each reference
+  /// refresh, with the number of windows scored so far (the refresh
+  /// boundary index). Refreshes happen at fixed window indices, so the
+  /// callback sequence is deterministic at any thread count — the
+  /// scenario gauntlet records it in alarm traces.
+  std::function<void(size_t windows_scored)> on_refresh;
 };
 
 /// Counters describing one Run (all zero on a stream with no windows).

@@ -87,7 +87,11 @@ DataFrame Windower::EmitWindow() {
 }
 
 StatusOr<std::vector<DataFrame>> Windower::Push(const DataFrame& chunk) {
-  if (chunk.num_rows() > 0) {
+  // Zero-row chunks complete nothing, but they still adopt (first chunk)
+  // or validate the schema: a producer whose schema diverged must fail
+  // deterministically, not only when the offending chunk happens to
+  // carry rows. Only a column-less placeholder frame is ignored.
+  if (chunk.num_columns() > 0) {
     CCS_RETURN_IF_ERROR(AppendChunk(chunk));
   }
   std::vector<DataFrame> windows;

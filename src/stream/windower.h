@@ -41,10 +41,21 @@ class Windower {
   static StatusOr<Windower> Create(size_t window_rows, size_t slide_rows = 0);
 
   /// Appends a chunk (its schema must match earlier chunks) and returns
-  /// every window it completes, oldest first. Empty chunks are allowed
-  /// and complete nothing. Emitted windows own their storage (sharing
-  /// only the categorical dictionaries) and stay valid after further
-  /// pushes.
+  /// every window it completes, oldest first. Emitted windows own their
+  /// storage (sharing only the categorical dictionaries) and stay valid
+  /// after further pushes.
+  ///
+  /// Edge semantics (defined, not accidental — the scenario gauntlet's
+  /// empty/short-stream cases rely on them):
+  ///  - A zero-row chunk completes nothing but still adopts (first
+  ///    chunk) or validates the schema; only a column-less placeholder
+  ///    DataFrame is ignored entirely.
+  ///  - A stream shorter than one window emits zero windows.
+  ///  - The trailing partial segment — anything shorter than a full
+  ///    window after the last emit, including a final segment shorter
+  ///    than the slide — is never emitted (it would score a different
+  ///    population than every other window); it stays in
+  ///    buffered_rows() and is dropped when the Windower is discarded.
   StatusOr<std::vector<dataframe::DataFrame>> Push(
       const dataframe::DataFrame& chunk);
 

@@ -1,12 +1,22 @@
 // Tests for baselines/: PCA-SPLL, CD, W-PCA — and their characteristic
-// blind spots relative to conformance constraints.
+// blind spots relative to conformance constraints. Also pins each
+// baseline's alarm trace on a gauntlet scenario against a checked-in
+// golden (regenerate with CCS_UPDATE_GOLDEN=1 ./build/baselines_test;
+// workflow: docs/scenarios.md).
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "baselines/cd.h"
 #include "baselines/pca_spll.h"
 #include "baselines/wpca.h"
 #include "common/random.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
 #include "synth/evl.h"
 
 namespace ccs::baselines {
@@ -219,6 +229,111 @@ TEST(CdTest, RetainsHighVarianceComponents) {
   double self = narrow.Score(df).value();
   double shifted = narrow.Score(drifted).value();
   EXPECT_LT(shifted - self, 0.2) << "CD with top-PC only misses the y shift";
+}
+
+// ----------------------------- AlarmSeries -----------------------------
+
+TEST(AlarmSeriesTest, StrictlyGreaterThanThreshold) {
+  // Exactly-at-threshold does NOT alarm — the same strict > that
+  // StreamMonitor applies, so baseline and pipeline traces agree.
+  auto alarms = AlarmSeries({0.1, 0.2, 0.2000001, 0.5}, 0.2);
+  EXPECT_EQ(alarms, (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(AlarmSeriesTest, NonFiniteScoresHaveDefinedBehavior) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  auto alarms = AlarmSeries({nan, inf, -inf}, 0.2);
+  EXPECT_EQ(alarms, (std::vector<bool>{false, true, false}))
+      << "NaN never alarms; +Inf always does";
+}
+
+TEST(AlarmSeriesTest, EmptySeriesYieldsEmptyAlarms) {
+  EXPECT_TRUE(AlarmSeries({}, 0.2).empty());
+}
+
+TEST(AlarmSeriesTest, NegativeThresholdAlarmsOnZero) {
+  auto alarms = AlarmSeries({0.0, -1.0}, -0.5);
+  EXPECT_EQ(alarms, (std::vector<bool>{true, false}));
+}
+
+// --------------------- golden traces on scenarios ----------------------
+
+// Each baseline's alarm trace on the abrupt-drift gauntlet scenario is
+// pinned byte-for-byte. Detector names ("PCA-SPLL (25%)", …) are not
+// file-safe, so goldens use explicit slugs.
+void ExpectBaselineMatchesGolden(const std::string& golden_slug,
+                                 DriftDetector* detector) {
+  auto spec = scenario::CatalogueSpec("abrupt-drift");
+  ASSERT_TRUE(spec.ok());
+  auto trace = scenario::RunBaseline(*spec, /*seed=*/1, detector);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_EQ(trace->detector, detector->name());
+
+  const std::string path =
+      std::string(CCS_GOLDEN_DIR) + "/" + golden_slug + ".trace";
+  if (std::getenv("CCS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    out << trace->ToString();
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path << " — regenerate with: "
+      << "CCS_UPDATE_GOLDEN=1 ./build/baselines_test";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(trace->ToString(), golden.str())
+      << golden_slug << ": trace drifted from " << path
+      << " — if intended, regenerate with: "
+      << "CCS_UPDATE_GOLDEN=1 ./build/baselines_test";
+
+  // Replay is bitwise, baselines included.
+  auto replay = scenario::RunBaseline(*spec, /*seed=*/1, detector);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(scenario::TracesIdentical(*trace, *replay));
+}
+
+TEST(BaselineGoldenTest, PcaSpll) {
+  PcaSpll detector;
+  ExpectBaselineMatchesGolden("baseline-pca-spll", &detector);
+}
+
+TEST(BaselineGoldenTest, CdArea) {
+  ChangeDetection detector;
+  ExpectBaselineMatchesGolden("baseline-cd-area", &detector);
+}
+
+TEST(BaselineGoldenTest, CdMkl) {
+  CdOptions options;
+  options.metric = CdMetric::kMkl;
+  ChangeDetection detector(options);
+  ExpectBaselineMatchesGolden("baseline-cd-mkl", &detector);
+}
+
+TEST(BaselineGoldenTest, Wpca) {
+  WeightedPca detector;
+  ExpectBaselineMatchesGolden("baseline-wpca", &detector);
+}
+
+TEST(BaselineGoldenTest, Ccsynth) {
+  ConformanceDetector detector;
+  ExpectBaselineMatchesGolden("baseline-ccsynth", &detector);
+}
+
+TEST(BaselineGoldenTest, TeardownScenarioReachesBaselinesToo) {
+  // Baselines share the CsvChunkReader path, so a malformed stream
+  // tears a baseline run down with the same structured error.
+  auto spec = scenario::CatalogueSpec("garbled-cell");
+  ASSERT_TRUE(spec.ok());
+  PcaSpll detector;
+  auto trace = scenario::RunBaseline(*spec, /*seed=*/1, &detector);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_EQ(trace->terminal.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(trace->terminal.message().find("column 'x'"), std::string::npos)
+      << trace->terminal.message();
+  EXPECT_GT(trace->windows_scored, 0u);
 }
 
 }  // namespace

@@ -243,6 +243,53 @@ TEST(WindowerTest, RejectsChunkSchemaMismatch) {
   EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(WindowerTest, ZeroRowChunkAdoptsAndValidatesSchema) {
+  // A zero-row chunk that carries columns still participates in schema
+  // adoption/validation; only the column-less placeholder is inert.
+  DataFrame df = TrendFrame(8, 0.0, 41);
+  auto windower = Windower::Create(4);
+  ASSERT_TRUE(windower.ok());
+  auto out = windower->Push(df.Slice(0, 0));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+  EXPECT_EQ(windower->buffered_rows(), 0u);
+  // The schema was adopted from the empty chunk: mismatches now reject…
+  DataFrame other;
+  CCS_CHECK(other.AddNumericColumn("z", {1.0}).ok());
+  EXPECT_FALSE(windower->Push(other).ok());
+  // …and matching rows still flow.
+  auto more = windower->Push(df);
+  ASSERT_TRUE(more.ok()) << more.status();
+  EXPECT_EQ(more->size(), 2u);
+}
+
+TEST(WindowerTest, StreamShorterThanOneWindowEmitsNothing) {
+  auto windower = Windower::Create(50, 10);
+  ASSERT_TRUE(windower.ok());
+  auto out = windower->Push(TrendFrame(30, 0.0, 42));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+  EXPECT_EQ(windower->buffered_rows(), 30u);
+  EXPECT_EQ(windower->windows_emitted(), 0u);
+}
+
+TEST(WindowerTest, TrailingSegmentShorterThanSlideIsNeverEmitted) {
+  // 23 rows, window 10 slide 5: windows start at rows 0/5/10 (needing
+  // rows through 19); the trailing 8 buffered rows include a final
+  // segment shorter than the slide, and no flush ever emits a partial.
+  DataFrame df = TrendFrame(23, 0.0, 43);
+  auto windower = Windower::Create(10, 5);
+  ASSERT_TRUE(windower.ok());
+  auto out = windower->Push(df);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+  auto flush = windower->Push(df.Slice(0, 0));
+  ASSERT_TRUE(flush.ok());
+  EXPECT_TRUE(flush->empty());
+  EXPECT_EQ(windower->buffered_rows(), 8u);
+  EXPECT_EQ(windower->windows_emitted(), 3u);
+}
+
 TEST(WindowerTest, SlidingBufferCapacityIsStableAcross100Slides) {
   // The regression this pins: the rolling buffer used to be rebuilt by
   // Concat + Slice per emitted window (a fresh allocation every slide).
@@ -392,14 +439,118 @@ TEST(CsvChunkReaderTest, MissingSchemaColumnIsError) {
   EXPECT_EQ(chunk.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(CsvChunkReaderTest, UnparseableNumericCellIsError) {
+TEST(CsvChunkReaderTest, UnparseableNumericCellIsDeferredError) {
+  // The reader delivers every good row before the malformation, then
+  // surfaces the structured error on the NEXT call — so downstream
+  // teardown does not depend on where chunk boundaries fall.
   dataframe::Schema schema;
   CCS_CHECK(schema.AddAttribute("x", dataframe::AttributeType::kNumeric).ok());
-  std::istringstream in("x\n1.0\noops\n");
+  std::istringstream in("x\n1.0\noops\n2.0\n");
+  dataframe::CsvChunkReader reader(&in, schema);
+  auto prefix = reader.ReadChunk(10);
+  ASSERT_TRUE(prefix.ok()) << prefix.status();
+  ASSERT_EQ(prefix->num_rows(), 1u);
+  EXPECT_EQ(prefix->NumericValue(0, "x").value(), 1.0);
+
+  auto error = reader.ReadChunk(10);
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kInvalidArgument);
+  const std::string& msg = error.status().message();
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("data row 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column 'x'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'oops'"), std::string::npos) << msg;
+}
+
+TEST(CsvChunkReaderTest, MalformedFirstRowOfChunkErrorsImmediately) {
+  // No good prefix to deliver: the error comes straight back.
+  dataframe::Schema schema;
+  CCS_CHECK(schema.AddAttribute("x", dataframe::AttributeType::kNumeric).ok());
+  std::istringstream in("x\noops\n");
   dataframe::CsvChunkReader reader(&in, schema);
   auto chunk = reader.ReadChunk(10);
   ASSERT_FALSE(chunk.ok());
   EXPECT_EQ(chunk.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(chunk.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvChunkReaderTest, RaggedRowReportsFieldCounts) {
+  dataframe::Schema schema;
+  CCS_CHECK(schema.AddAttribute("x", dataframe::AttributeType::kNumeric).ok());
+  CCS_CHECK(schema.AddAttribute("y", dataframe::AttributeType::kNumeric).ok());
+  std::istringstream in("x,y\n1,2\n3,4,5\n");
+  dataframe::CsvChunkReader reader(&in, schema);
+  auto prefix = reader.ReadChunk(10);
+  ASSERT_TRUE(prefix.ok()) << prefix.status();
+  ASSERT_EQ(prefix->num_rows(), 1u);
+  auto error = reader.ReadChunk(10);
+  ASSERT_FALSE(error.ok());
+  const std::string& msg = error.status().message();
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("has 3 fields, expected 2"), std::string::npos) << msg;
+}
+
+TEST(CsvChunkReaderTest, UnterminatedQuoteReportsPhysicalLine) {
+  dataframe::Schema schema;
+  CCS_CHECK(
+      schema.AddAttribute("a", dataframe::AttributeType::kCategorical).ok());
+  std::istringstream in("a\nok\n\"never closed\n");
+  dataframe::CsvChunkReader reader(&in, schema);
+  auto prefix = reader.ReadChunk(10);
+  ASSERT_TRUE(prefix.ok()) << prefix.status();
+  ASSERT_EQ(prefix->num_rows(), 1u);
+  auto error = reader.ReadChunk(10);
+  ASSERT_FALSE(error.ok());
+  const std::string& msg = error.status().message();
+  EXPECT_NE(msg.find("unterminated quoted field"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(CsvChunkReaderTest, LineNumbersTrackNewlinesInsideQuotedFields) {
+  // The embedded newline in row 1's quoted cell occupies a physical
+  // line, so the malformed row 3 sits on physical line 5.
+  dataframe::Schema schema;
+  CCS_CHECK(
+      schema.AddAttribute("a", dataframe::AttributeType::kCategorical).ok());
+  CCS_CHECK(schema.AddAttribute("x", dataframe::AttributeType::kNumeric).ok());
+  std::istringstream in("a,x\n\"two\nlines\",1\nok,2\nbad,oops\n");
+  dataframe::CsvChunkReader reader(&in, schema);
+  auto prefix = reader.ReadChunk(10);
+  ASSERT_TRUE(prefix.ok()) << prefix.status();
+  ASSERT_EQ(prefix->num_rows(), 2u);
+  EXPECT_EQ(prefix->CategoricalValue(0, "a").value(), "two\nlines");
+  auto error = reader.ReadChunk(10);
+  ASSERT_FALSE(error.ok());
+  const std::string& msg = error.status().message();
+  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("data row 3"), std::string::npos) << msg;
+}
+
+TEST(CsvChunkReaderTest, GoodPrefixIsChunkSizeIndependent) {
+  dataframe::Schema schema;
+  CCS_CHECK(schema.AddAttribute("x", dataframe::AttributeType::kNumeric).ok());
+  const std::string text = "x\n1\n2\n3\n4\noops\n";
+  for (size_t chunk_rows : {1u, 2u, 3u, 100u}) {
+    std::istringstream in(text);
+    dataframe::CsvChunkReader reader(&in, schema);
+    std::vector<double> got;
+    Status terminal = Status::OK();
+    for (;;) {
+      auto chunk = reader.ReadChunk(chunk_rows);
+      if (!chunk.ok()) {
+        terminal = chunk.status();
+        break;
+      }
+      if (chunk->num_rows() == 0) break;
+      for (size_t r = 0; r < chunk->num_rows(); ++r) {
+        got.push_back(chunk->NumericValue(r, "x").value());
+      }
+    }
+    EXPECT_EQ(got, (std::vector<double>{1, 2, 3, 4})) << chunk_rows;
+    ASSERT_FALSE(terminal.ok()) << chunk_rows;
+    EXPECT_NE(terminal.message().find("line 6"), std::string::npos)
+        << chunk_rows << ": " << terminal.message();
+  }
 }
 
 TEST(CsvChunkReaderTest, HeaderlessMapsPositionally) {
@@ -693,23 +844,39 @@ TEST_F(StreamPipelineTest, RefreshCadenceContinuesAcrossRuns) {
   ExpectHistoriesBitwiseEqual(segmented->history(), whole->history());
 }
 
-TEST_F(StreamPipelineTest, PropagatesIngestError) {
+TEST_F(StreamPipelineTest, TearsDownCleanlyOnMidStreamMalformation) {
+  // Row 31 is ragged. The reader delivers the 30-row good prefix before
+  // the error, so every full window of it (3 windows of 10) is scored
+  // before Run surfaces the structured parse error — independent of
+  // chunk sizing and thread count.
   DataFrame reference = TrendFrame(100, 0.0, 16);
-  StreamPipelineOptions options;
-  options.window_rows = 10;
-  options.chunk_rows = 4;
-  auto pipeline = StreamPipeline::Create(reference, options);
-  ASSERT_TRUE(pipeline.ok());
-  // Row 30 is ragged; earlier full windows may or may not have been
-  // committed, but Run must surface the parse error.
   std::ostringstream bad;
   bad << "x,y\n";
   for (int i = 0; i < 30; ++i) bad << i << "," << i << "\n";
   bad << "7\n";
-  std::istringstream in(bad.str());
-  auto stats = pipeline->Run(in);
-  ASSERT_FALSE(stats.ok());
-  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+
+  for (size_t chunk_rows : {4u, 10u, 64u}) {
+    for (size_t threads : {1u, 4u}) {
+      StreamPipelineOptions options;
+      options.window_rows = 10;
+      options.alarm_threshold = 0.9;
+      options.chunk_rows = chunk_rows;
+      options.num_threads = threads;
+      auto pipeline = StreamPipeline::Create(reference, options);
+      ASSERT_TRUE(pipeline.ok());
+      std::istringstream in(bad.str());
+      auto stats = pipeline->Run(in);
+      ASSERT_FALSE(stats.ok());
+      EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+      const std::string& msg = stats.status().message();
+      EXPECT_NE(msg.find("line 32"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("data row 31"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("has 1 fields, expected 2"), std::string::npos)
+          << msg;
+      EXPECT_EQ(pipeline->history().size(), 3u)
+          << "chunk_rows=" << chunk_rows << " threads=" << threads;
+    }
+  }
 }
 
 TEST_F(StreamPipelineTest, RejectsBadOptions) {

@@ -24,6 +24,14 @@ Rules
                    outside src/common/mutex.h. Clang's thread-safety
                    analysis only sees the annotated wrappers
                    (common::Mutex / MutexLock / CondVar).
+  rng-parallel     an Rng mentioned in a file that also dispatches
+                   parallel work (ParallelFor/ParallelForEach/
+                   std::thread). Rng is thread-affine: sharing one
+                   across lanes (or drawing from lane-local ones in a
+                   nondeterministic order) breaks seed discipline —
+                   byte-replayable streams in src/scenario depend on
+                   it. Split the randomness out of the parallel file,
+                   or explain the partitioning with an allow.
   guarded-by       a class holding a Mutex by value whose other data
                    members carry neither CCS_GUARDED_BY nor an exemption
                    (const, static, Mutex/CondVar, std::atomic).
@@ -59,6 +67,7 @@ RULES = (
     "kernel-noinline",
     "thread-spawn",
     "std-mutex",
+    "rng-parallel",
     "guarded-by",
     "bad-allow",
     "unused-allow",
@@ -69,6 +78,9 @@ RULES = (
 THREAD_SPAWN_FILES = ("src/common/parallel.h", "src/common/parallel.cc")
 STD_MUTEX_FILES = ("src/common/mutex.h",)
 GUARDED_BY_EXEMPT_FILES = ("src/common/mutex.h",)
+# Rng's own definition, and the pool that Rng must stay away from.
+RNG_PARALLEL_EXEMPT_FILES = ("src/common/random.h", "src/common/random.cc",
+                             "src/common/parallel.h", "src/common/parallel.cc")
 
 ALLOW_RE = re.compile(
     r"//\s*ccs-lint:\s*(allow|allow-file)\(([\w-]+)\)(?::\s*(\S.*))?")
@@ -79,6 +91,9 @@ STD_MUTEX_RE = re.compile(
     r"\bstd::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
     r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b")
 THREAD_RE = re.compile(r"\bstd::thread\b")
+RNG_RE = re.compile(r"\b(?:ccs::)?(?:common::)?Rng\b")
+PARALLEL_DISPATCH_RE = re.compile(
+    r"\bParallelFor(?:Each)?\b|\bstd::thread\b")
 ACCUM_RE = re.compile(r"(?P<lhs>[^;{}=!<>+\-]{1,120}?)(?:\+|-)=(?P<rhs>[^;]*);")
 DOUBLE_DECL_RE = re.compile(
     r"^\s*(?:const\s+)?(?:double|float)\s+(\w+)\s*(?:=|;|\{)")
@@ -258,6 +273,12 @@ class FileLinter:
     def _lint_tokens(self):
         spawn_ok = self.logical.endswith(THREAD_SPAWN_FILES)
         mutex_ok = self.logical.endswith(STD_MUTEX_FILES)
+        rng_ok = self.logical.endswith(RNG_PARALLEL_EXEMPT_FILES)
+        # Rng thread-affinity: the rule arms once the file dispatches
+        # parallel work anywhere — Rng in such a file needs an explained
+        # partitioning (one Rng per lane, deterministic stream split).
+        has_parallel = any(
+            PARALLEL_DISPATCH_RE.search(line) for line in self.code)
         for idx, line in enumerate(self.code, start=1):
             if not spawn_ok and THREAD_RE.search(line):
                 self._report(idx, "thread-spawn",
@@ -268,6 +289,12 @@ class FileLinter:
                              "raw std:: synchronization primitive — use "
                              "common::Mutex/MutexLock/CondVar so Clang's "
                              "thread-safety analysis can see the lock")
+            if not rng_ok and has_parallel and RNG_RE.search(line):
+                self._report(idx, "rng-parallel",
+                             "Rng in a file that dispatches parallel work — "
+                             "Rng is thread-affine; keep randomness out of "
+                             "parallel files or explain the per-lane "
+                             "partitioning")
 
     def _lint_structure(self):
         in_linalg = "/linalg/" in "/" + self.logical

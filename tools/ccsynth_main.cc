@@ -24,6 +24,17 @@
 //       Per-attribute responsibility for serving non-conformance.
 //   ccsynth diff    <a.csv> <b.csv>
 //       Dataset diff report (asymmetric violations, partitions, blame).
+//   ccsynth gauntlet [--scenario <name|spec.json>] [--seed N]
+//                    [--threads N] [--json] [--list] [--all]
+//                    [--check-golden DIR] [--update-golden DIR] [--fuzz N]
+//       Run adversarial stream scenarios (src/scenario/) through the
+//       serving engine and emit deterministic alarm traces. --list
+//       enumerates the catalogue; --check-golden diffs every catalogue
+//       trace against DIR/<name>.trace (exit 1 on drift, printing the
+//       regeneration command); --update-golden rewrites them; --fuzz
+//       composes N random scenarios and verifies trace determinism
+//       (rerun + 1-vs-4-thread bitwise identity), printing the failing
+//       spec JSON and seed.
 
 #include <sys/resource.h>
 
@@ -43,6 +54,8 @@
 #include "core/serialize.h"
 #include "core/synthesizer.h"
 #include "dataframe/csv.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
 #include "stream/pipeline.h"
 
 namespace {
@@ -56,16 +69,21 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ccsynth <learn|check|drift|monitor|explain|diff> ...\n"
-               "  learn   <train.csv> [-o out.ccs] [--no-disjunctive]\n"
-               "          [--bound-multiplier C] [--sql] [--pretty]\n"
-               "  check   <constraints.ccs> <serving.csv> [--threshold T]\n"
-               "  drift   <reference.csv> <window.csv>...\n"
-               "  monitor --reference <ref.csv> <stream.csv|-> [--window N]\n"
-               "          [--slide M] [--threshold T] [--refresh-every K]\n"
-               "          [--threads N] [--json] [--stats]\n"
-               "  explain <train.csv> <serving.csv>\n"
-               "  diff    <a.csv> <b.csv>\n");
+               "usage: ccsynth "
+               "<learn|check|drift|monitor|explain|diff|gauntlet> ...\n"
+               "  learn    <train.csv> [-o out.ccs] [--no-disjunctive]\n"
+               "           [--bound-multiplier C] [--sql] [--pretty]\n"
+               "  check    <constraints.ccs> <serving.csv> [--threshold T]\n"
+               "  drift    <reference.csv> <window.csv>...\n"
+               "  monitor  --reference <ref.csv> <stream.csv|-> [--window N]\n"
+               "           [--slide M] [--threshold T] [--refresh-every K]\n"
+               "           [--threads N] [--json] [--stats]\n"
+               "  explain  <train.csv> <serving.csv>\n"
+               "  diff     <a.csv> <b.csv>\n"
+               "  gauntlet [--scenario <name|spec.json>] [--seed N]\n"
+               "           [--threads N] [--json] [--list] [--all]\n"
+               "           [--check-golden DIR] [--update-golden DIR]\n"
+               "           [--fuzz N]\n");
   return 1;
 }
 
@@ -323,6 +341,208 @@ int RunExplain(const std::vector<std::string>& args) {
   return 0;
 }
 
+std::string TraceToJson(const scenario::ScenarioTrace& trace) {
+  std::string out = "{\"scenario\":\"" + trace.scenario + "\",\"detector\":\"" +
+                    trace.detector + "\",\"seed\":" +
+                    std::to_string(trace.seed) + ",\"events\":[";
+  bool first = true;
+  for (const scenario::TraceEvent& e : trace.events) {
+    if (!first) out += ",";
+    first = false;
+    if (e.kind == scenario::TraceEvent::Kind::kRefresh) {
+      out += "{\"refresh\":" + std::to_string(e.window_index) + "}";
+    } else {
+      out += "{\"window\":" + std::to_string(e.window_index) + ",\"score\":\"" +
+             FormatDouble(e.score) + "\",\"alarm\":" +
+             (e.alarm ? "true" : "false") + "}";
+    }
+  }
+  out += "],\"status\":\"" + trace.terminal.ToString() + "\",\"windows\":" +
+         std::to_string(trace.windows_scored) + ",\"alarms\":" +
+         std::to_string(trace.alarms) + ",\"refreshes\":" +
+         std::to_string(trace.refreshes) + "}";
+  return out;
+}
+
+// Resolves --scenario: a catalogue name, or a path to a spec JSON file.
+StatusOr<scenario::ScenarioSpec> ResolveScenario(const std::string& arg) {
+  std::ifstream file(arg);
+  if (file) {
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto spec = scenario::ParseSpecJson(buffer.str());
+    if (spec.ok() && spec->name.empty()) spec->name = arg;
+    return spec;
+  }
+  return scenario::CatalogueSpec(arg);
+}
+
+// Verifies one fuzz draw: the trace must be identical on a rerun and at
+// 4 scoring threads. Prints the replayable (spec JSON, seed) on failure.
+int CheckFuzzDraw(const scenario::ScenarioSpec& spec, uint64_t seed) {
+  auto first = scenario::RunScenario(spec, seed, /*num_threads=*/1);
+  auto rerun = scenario::RunScenario(spec, seed, /*num_threads=*/1);
+  auto threaded = scenario::RunScenario(spec, seed, /*num_threads=*/4);
+  const char* failure = nullptr;
+  if (!first.ok() || !rerun.ok() || !threaded.ok()) {
+    failure = "run failed";
+  } else if (!scenario::TracesIdentical(*first, *rerun)) {
+    failure = "trace differs across reruns";
+  } else if (!scenario::TracesIdentical(*first, *threaded)) {
+    failure = "trace differs at 1 vs 4 threads";
+  }
+  if (failure == nullptr) return 0;
+  std::fprintf(stderr, "ccsynth gauntlet: FUZZ FAILURE (%s) at seed %llu\n",
+               failure, static_cast<unsigned long long>(seed));
+  if (!first.ok()) {
+    std::fprintf(stderr, "  status: %s\n",
+                 first.status().ToString().c_str());
+  }
+  std::fprintf(stderr, "  replay spec:\n%s\n",
+               scenario::SpecToJson(spec).c_str());
+  std::fprintf(stderr,
+               "  replay: write the spec to spec.json and run: ccsynth "
+               "gauntlet --scenario spec.json --seed %llu\n",
+               static_cast<unsigned long long>(seed));
+  return 1;
+}
+
+int RunGauntlet(const std::vector<std::string>& args) {
+  bool list = false, emit_json = false, all = false;
+  uint64_t seed = 1;
+  size_t threads = 1;
+  size_t fuzz = 0;
+  std::string scenario_arg, check_dir, update_dir;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto flag_value = [&](const char* name) -> const std::string* {
+      if (args[i] == name && i + 1 < args.size()) return &args[++i];
+      return nullptr;
+    };
+    if (const std::string* v = flag_value("--scenario")) {
+      scenario_arg = *v;
+    } else if (const std::string* v = flag_value("--seed")) {
+      auto n = ParseInt(*v);
+      if (!n.has_value() || *n < 0) {
+        return Fail(Status::InvalidArgument("bad --seed"));
+      }
+      seed = static_cast<uint64_t>(*n);
+    } else if (const std::string* v = flag_value("--threads")) {
+      auto n = ParseInt(*v);
+      if (!n.has_value() || *n <= 0) {
+        return Fail(Status::InvalidArgument("bad --threads"));
+      }
+      threads = static_cast<size_t>(*n);
+    } else if (const std::string* v = flag_value("--fuzz")) {
+      auto n = ParseInt(*v);
+      if (!n.has_value() || *n <= 0) {
+        return Fail(Status::InvalidArgument("bad --fuzz"));
+      }
+      fuzz = static_cast<size_t>(*n);
+    } else if (const std::string* v = flag_value("--check-golden")) {
+      check_dir = *v;
+    } else if (const std::string* v = flag_value("--update-golden")) {
+      update_dir = *v;
+    } else if (args[i] == "--list") {
+      list = true;
+    } else if (args[i] == "--json") {
+      emit_json = true;
+    } else if (args[i] == "--all") {
+      all = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (list) {
+    for (const std::string& name : scenario::CatalogueNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  if (fuzz > 0) {
+    size_t failures = 0;
+    for (size_t i = 0; i < fuzz; ++i) {
+      // One composer seed per draw, derived from --seed: each draw is
+      // replayable on its own.
+      uint64_t draw_seed = seed + i;
+      Rng composer(draw_seed);
+      scenario::ScenarioSpec spec = scenario::RandomSpec(&composer);
+      failures += static_cast<size_t>(CheckFuzzDraw(spec, draw_seed));
+    }
+    std::fprintf(stderr, "ccsynth gauntlet: fuzz %zu draws, %zu failures\n",
+                 fuzz, failures);
+    return failures > 0 ? 1 : 0;
+  }
+
+  // Golden modes and --all sweep the catalogue; otherwise a single
+  // --scenario is required.
+  std::vector<scenario::ScenarioSpec> specs;
+  if (all || !check_dir.empty() || !update_dir.empty()) {
+    if (!scenario_arg.empty()) return Usage();
+    for (const std::string& name : scenario::CatalogueNames()) {
+      auto spec = scenario::CatalogueSpec(name);
+      if (!spec.ok()) return Fail(spec.status());
+      specs.push_back(std::move(*spec));
+    }
+  } else {
+    if (scenario_arg.empty()) return Usage();
+    auto spec = ResolveScenario(scenario_arg);
+    if (!spec.ok()) return Fail(spec.status());
+    specs.push_back(std::move(*spec));
+  }
+
+  size_t mismatches = 0;
+  for (const scenario::ScenarioSpec& spec : specs) {
+    auto trace = scenario::RunScenario(spec, seed, threads);
+    if (!trace.ok()) return Fail(trace.status());
+    if (!update_dir.empty()) {
+      std::string path = update_dir + "/" + spec.name + ".trace";
+      std::ofstream out(path);
+      if (!out) return Fail(Status::IoError("cannot write " + path));
+      out << trace->ToString();
+      std::fprintf(stderr, "ccsynth gauntlet: wrote %s\n", path.c_str());
+      continue;
+    }
+    if (!check_dir.empty()) {
+      std::string path = check_dir + "/" + spec.name + ".trace";
+      std::ifstream golden(path);
+      if (!golden) {
+        std::fprintf(stderr, "ccsynth gauntlet: MISSING golden %s\n",
+                     path.c_str());
+        ++mismatches;
+        continue;
+      }
+      std::stringstream buffer;
+      buffer << golden.rdbuf();
+      if (buffer.str() == trace->ToString()) {
+        std::fprintf(stderr, "ccsynth gauntlet: %-24s ok\n",
+                     spec.name.c_str());
+      } else {
+        std::fprintf(stderr, "ccsynth gauntlet: %-24s TRACE DRIFT vs %s\n",
+                     spec.name.c_str(), path.c_str());
+        ++mismatches;
+      }
+      continue;
+    }
+    if (emit_json) {
+      std::printf("%s\n", TraceToJson(*trace).c_str());
+    } else {
+      std::printf("%s", trace->ToString().c_str());
+    }
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "ccsynth gauntlet: %zu trace(s) drifted. If the change is "
+                 "intended, regenerate with:\n  ccsynth gauntlet "
+                 "--update-golden %s\nand commit the result (see "
+                 "docs/scenarios.md).\n",
+                 mismatches, check_dir.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int RunDiff(const std::vector<std::string>& args) {
   if (args.size() != 2) return Usage();
   auto a = Load(args[0]);
@@ -347,5 +567,6 @@ int main(int argc, char** argv) {
   if (command == "monitor") return RunMonitor(args);
   if (command == "explain") return RunExplain(args);
   if (command == "diff") return RunDiff(args);
+  if (command == "gauntlet") return RunGauntlet(args);
   return Usage();
 }

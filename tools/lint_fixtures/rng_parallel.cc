@@ -1,0 +1,31 @@
+// Seeded violations for the rng-parallel rule: Rng is thread-affine,
+// so any mention of it in a file that also dispatches parallel work
+// (ParallelFor / ParallelForEach / std::thread) must explain its
+// per-lane partitioning. Byte-replayable scenario rendering
+// (src/scenario) depends on this seed discipline.
+
+namespace fixture {
+
+template <typename F>
+void ParallelFor(int n, F fn) {
+  for (int i = 0; i < n; ++i) fn(i);
+}
+
+void SharesOneRngAcrossLanes(int n) {
+  ccs::Rng rng(42);  // EXPECT-LINT: rng-parallel
+  ParallelFor(n, [&](int) { (void)rng; });
+}
+
+void ExplainedPerLaneStreams(int n) {
+  // ccs-lint: allow(rng-parallel): one Rng per lane via MixSeed(seed, lane)
+  ccs::Rng lane_rng(7);
+  ParallelFor(n, [&](int) { (void)lane_rng; });
+}
+
+void MentionsRngOnlyInComments() {
+  // Talking about an Rng in a comment is fine; the linter strips
+  // comments before matching tokens, and lower-case variable names
+  // like rng never match the type token.
+}
+
+}  // namespace fixture
