@@ -6,10 +6,16 @@
 // history is checked bitwise identical to the serial loop's before any
 // number is reported — the determinism contract is a precondition of the
 // benchmark, not an afterthought.
+//
+// A final section measures observability overhead: the same run with an
+// active obs::ObsSession (spans recording into per-thread rings) against
+// one without, plus a per-stage breakdown of where the wall time went.
+// Pass --quick for a CI-sized run.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -21,6 +27,7 @@
 #include "common/random.h"
 #include "core/monitor.h"
 #include "dataframe/csv.h"
+#include "obs/trace.h"
 #include "stream/pipeline.h"
 #include "stream/windower.h"
 
@@ -28,10 +35,7 @@ namespace {
 
 using namespace ccs;  // NOLINT
 
-constexpr size_t kReferenceRows = 4000;
-constexpr size_t kStreamRows = 48000;
 constexpr size_t kAttributes = 32;
-constexpr size_t kWindowRows = 512;
 constexpr size_t kRefreshEvery = 16;
 constexpr double kThreshold = 0.2;
 
@@ -128,23 +132,38 @@ void CheckBitwiseEqual(const std::vector<core::WindowScore>& serial,
 
 }  // namespace
 
-int main() {
-  bench::Banner(
-      "Streaming-serving throughput (stream::StreamPipeline)\n"
-      "48000-row CSV stream x 32 attrs, 512-row tumbling windows,\n"
-      "profile refresh every 16 windows, drift from row 24000");
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  // Full-size geometry reproduces the throughput table; --quick keeps
+  // the same shape (several windows per refresh, drift halfway) at CI
+  // scale.
+  const size_t reference_rows = quick ? 1000 : 4000;
+  const size_t stream_rows = quick ? 8000 : 48000;
+  const size_t window_rows = quick ? 256 : 512;
+  const int reps = quick ? 2 : 3;
 
-  dataframe::DataFrame reference = LatentFactorFrame(kReferenceRows, 42, ~0ull);
+  bench::Banner(
+      std::string(quick ? "(--quick) " : "") +
+      "Streaming-serving throughput (stream::StreamPipeline)\n" +
+      std::to_string(stream_rows) + "-row CSV stream x 32 attrs, " +
+      std::to_string(window_rows) + "-row tumbling windows,\n" +
+      "profile refresh every 16 windows, drift from row " +
+      std::to_string(stream_rows / 2));
+
+  dataframe::DataFrame reference = LatentFactorFrame(reference_rows, 42, ~0ull);
   std::string csv_text;
   {
     std::ostringstream out;
     bench::CheckOk(dataframe::WriteCsv(
-        LatentFactorFrame(kStreamRows, 43, kStreamRows / 2), out));
+        LatentFactorFrame(stream_rows, 43, stream_rows / 2), out));
     csv_text = out.str();
   }
 
   stream::StreamPipelineOptions options;
-  options.window_rows = kWindowRows;
+  options.window_rows = window_rows;
   options.alarm_threshold = kThreshold;
   options.refresh_every = kRefreshEvery;
   options.chunk_rows = 2048;
@@ -159,7 +178,7 @@ int main() {
   for (const core::WindowScore& s : serial) serial_alarms += s.alarm ? 1 : 0;
   CCS_CHECK(serial_alarms > 0) << "drift scenario failed to alarm";
   double serial_sec = BestSeconds(
-      [&] { SerialLoop(reference, csv_text, options); });
+      [&] { SerialLoop(reference, csv_text, options); }, reps);
   common::SetDefaultThreadCount(0);
 
   size_t hardware = std::max<size_t>(std::thread::hardware_concurrency(), 1);
@@ -170,7 +189,7 @@ int main() {
   std::printf("\n%-28s%12s%14s%10s\n", "path", "rows/sec", "wall (ms)",
               "speedup");
   std::printf("%-28s%12.0f%14.2f%10s\n", "serial ObserveWindow loop",
-              static_cast<double>(kStreamRows) / serial_sec, serial_sec * 1e3,
+              static_cast<double>(stream_rows) / serial_sec, serial_sec * 1e3,
               "1.00x");
 
   for (size_t t : lanes) {
@@ -182,11 +201,11 @@ int main() {
       auto stats = pipeline->Run(in);
       bench::CheckOk(stats.status());
       CheckBitwiseEqual(serial, pipeline->history(), t);
-    });
+    }, reps);
     std::string label = "pipeline, " + std::to_string(t) +
                         (t == 1 ? " score lane" : " score lanes");
     std::printf("%-28s%12.0f%14.2f%9.2fx\n", label.c_str(),
-                static_cast<double>(kStreamRows) / sec, sec * 1e3,
+                static_cast<double>(stream_rows) / sec, sec * 1e3,
                 serial_sec / sec);
   }
 
@@ -195,5 +214,45 @@ int main() {
       "the serial loop — ingest/windowing overlap scoring, so speedup > 1 is\n"
       "expected even at 1 score lane on multicore hardware)\n",
       hardware);
+
+  // ---- Observability overhead --------------------------------------
+  // Same pipeline, same geometry, at the widest lane count: once with
+  // no session (spans compile to a null-ring check) and once with an
+  // active ObsSession recording every stage/task span. The committed
+  // histories stay bitwise identical either way — only the wall clock
+  // may move, and it must move by less than 5%.
+  bench::Banner("Observability overhead (active ObsSession vs none)");
+  options.num_threads = hardware;
+  auto timed_run = [&] {
+    auto pipeline = stream::StreamPipeline::Create(reference, options);
+    bench::CheckOk(pipeline.status());
+    std::istringstream in(csv_text);
+    auto stats = pipeline->Run(in);
+    bench::CheckOk(stats.status());
+    CheckBitwiseEqual(serial, pipeline->history(), options.num_threads);
+  };
+  double off_sec = BestSeconds(timed_run, reps);
+  double on_sec = BestSeconds(
+      [&] {
+        obs::ObsSession session;
+        timed_run();
+      },
+      reps);
+  const double overhead_pct = (on_sec / off_sec - 1.0) * 100.0;
+  std::printf("\n%-28s%12s%14s\n", "mode", "rows/sec", "wall (ms)");
+  std::printf("%-28s%12.0f%14.2f\n", "tracing off",
+              static_cast<double>(stream_rows) / off_sec, off_sec * 1e3);
+  std::printf("%-28s%12.0f%14.2f\n", "tracing on",
+              static_cast<double>(stream_rows) / on_sec, on_sec * 1e3);
+  std::printf("\nactive-session overhead: %+.2f%% (target < 5%%)\n",
+              overhead_pct);
+
+  // Where the traced wall time went, from one more recorded run.
+  {
+    obs::ObsSession session;
+    timed_run();
+    std::printf("\n");
+    bench::PrintStageBreakdown(session);
+  }
   return 0;
 }

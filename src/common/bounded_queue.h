@@ -27,16 +27,28 @@
 #include "common/logging.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace ccs::common {
+
+/// Optional wait-time instrumentation for a BoundedQueue. When a
+/// histogram pointer is set, every Push/Pop records how long it blocked
+/// (microseconds; 0 on the non-blocking fast path, where no clock is
+/// read). Strictly out-of-band: recorded waits never influence queue
+/// behaviour.
+struct QueueWaitHistograms {
+  obs::Histogram* push_wait_us = nullptr;
+  obs::Histogram* pop_wait_us = nullptr;
+};
 
 /// Bounded blocking FIFO channel between pipeline stages.
 template <typename T>
 class BoundedQueue {
  public:
   /// A queue holding at most `capacity` elements (at least 1).
-  explicit BoundedQueue(size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  /// `wait` optionally attaches queue-wait histograms.
+  explicit BoundedQueue(size_t capacity, QueueWaitHistograms wait = {})
+      : capacity_(capacity == 0 ? 1 : capacity), wait_(wait) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -44,14 +56,24 @@ class BoundedQueue {
   /// Blocks until there is room (backpressure), then enqueues `value`.
   /// Returns false — without enqueueing — once the queue is closed.
   bool Push(T value) CCS_EXCLUDES(mu_) {
+    uint64_t waited_ns = 0;
     {
       MutexLock lock(&mu_);
-      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
+      if (!closed_ && items_.size() >= capacity_) {
+        // Clock reads only bracket an actual block: the uncontended
+        // fast path records a 0 sample without touching the clock.
+        const uint64_t t0 = wait_.push_wait_us ? obs::NowNanos() : 0;
+        while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
+        if (wait_.push_wait_us) waited_ns = obs::NowNanos() - t0;
+      }
       if (closed_) return false;
       items_.push_back(std::move(value));
       if (items_.size() > peak_depth_) peak_depth_ = items_.size();
     }
     not_empty_.NotifyOne();
+    if (wait_.push_wait_us) {
+      wait_.push_wait_us->Observe(static_cast<double>(waited_ns) / 1000.0);
+    }
     return true;
   }
 
@@ -59,14 +81,22 @@ class BoundedQueue {
   /// nullopt once the queue is closed AND drained.
   std::optional<T> Pop() CCS_EXCLUDES(mu_) {
     std::optional<T> value;
+    uint64_t waited_ns = 0;
     {
       MutexLock lock(&mu_);
-      while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
+      if (!closed_ && items_.empty()) {
+        const uint64_t t0 = wait_.pop_wait_us ? obs::NowNanos() : 0;
+        while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
+        if (wait_.pop_wait_us) waited_ns = obs::NowNanos() - t0;
+      }
       if (items_.empty()) return std::nullopt;  // Closed and drained.
       value = std::move(items_.front());
       items_.pop_front();
     }
     not_full_.NotifyOne();
+    if (wait_.pop_wait_us) {
+      wait_.pop_wait_us->Observe(static_cast<double>(waited_ns) / 1000.0);
+    }
     return value;
   }
 
@@ -118,6 +148,7 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
+  const QueueWaitHistograms wait_;
   mutable Mutex mu_;
   CondVar not_full_;
   CondVar not_empty_;

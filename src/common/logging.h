@@ -7,12 +7,22 @@
 #ifndef CCS_COMMON_LOGGING_H_
 #define CCS_COMMON_LOGGING_H_
 
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
+#include <string>
 
 namespace ccs {
 namespace internal {
+
+/// Writes one fully assembled log line to stderr with a single
+/// fwrite, so concurrent loggers interleave at line granularity, never
+/// mid-line (piecewise operator<< on a shared std::cerr would shear).
+inline void EmitLogLine(std::string line) {
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
 
 /// Accumulates a failure message and aborts the process on destruction.
 class FatalMessage {
@@ -22,7 +32,7 @@ class FatalMessage {
             << " ";
   }
   [[noreturn]] ~FatalMessage() {
-    std::cerr << stream_.str() << std::endl;
+    EmitLogLine(stream_.str());
     std::abort();
   }
   std::ostream& stream() { return stream_; }
@@ -31,11 +41,14 @@ class FatalMessage {
   std::ostringstream stream_;
 };
 
-/// Log-level message emitted to stderr with a severity prefix.
+/// Log-level message emitted to stderr with a severity prefix. The full
+/// line is assembled in a private buffer and emitted atomically on
+/// destruction (single write), so LOG lines from different threads
+/// never interleave within a line.
 class LogMessage {
  public:
   explicit LogMessage(const char* level) { stream_ << "[" << level << "] "; }
-  ~LogMessage() { std::cerr << stream_.str() << std::endl; }
+  ~LogMessage() { EmitLogLine(stream_.str()); }
   std::ostream& stream() { return stream_; }
 
  private:

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ccs::common {
 
@@ -106,7 +107,13 @@ void DrainChunks(ForState* state) {
     if (c >= state->total_chunks) return;
     size_t begin = c * state->chunk;
     size_t end = std::min(state->n, begin + state->chunk);
-    (*state->fn)(begin, end);
+    {
+      // Scoped so the span closes BEFORE chunks_done is bumped: the
+      // caller may unblock (and the ObsSession owner may tear down) the
+      // moment the last chunk is counted, so no span may straddle it.
+      obs::ObsSpan task_span("pool.task", "pool");
+      (*state->fn)(begin, end);
+    }
     {
       MutexLock lock(&state->mu);
       ++state->chunks_done;

@@ -1,6 +1,7 @@
 #include "core/monitor.h"
 
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace ccs::core {
 
@@ -94,6 +95,7 @@ StatusOr<WindowScore> StreamMonitor::ObserveWindow(
 
 StatusOr<std::vector<WindowScore>> StreamMonitor::ObserveWindows(
     const std::vector<dataframe::DataFrame>& windows, size_t num_threads) {
+  obs::ObsSpan span("monitor.observe_windows", "core");
   // Score in parallel into a scratch buffer, then commit to the history
   // in arrival order only if every window succeeded (all-or-nothing, so
   // a failure cannot leave a partially advanced history).

@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "linalg/symmetric_eigen.h"
+#include "obs/trace.h"
 
 namespace ccs::core {
 
@@ -27,6 +28,7 @@ double RawImportance(ImportanceMapping mapping, double stddev) {
 
 StatusOr<SimpleConstraint> Synthesizer::SynthesizeSimple(
     const dataframe::DataFrame& df) const {
+  obs::ObsSpan span("synth.simple", "synth");
   std::vector<std::string> names = df.NumericNames();
   if (names.empty()) {
     return Status::InvalidArgument(
@@ -140,6 +142,7 @@ StatusOr<SimpleConstraint> Synthesizer::SynthesizeSimpleFromGram(
 
 StatusOr<DisjunctiveConstraint> Synthesizer::SynthesizeDisjunctive(
     const dataframe::DataFrame& df, const std::string& attribute) const {
+  obs::ObsSpan span("synth.disjunctive", "synth");
   CCS_ASSIGN_OR_RETURN(auto partitions, df.PartitionBy(attribute));
   if (partitions.size() > options_.max_categorical_domain) {
     return Status::InvalidArgument(
@@ -180,6 +183,7 @@ StatusOr<DisjunctiveConstraint> Synthesizer::SynthesizeDisjunctive(
 
 StatusOr<ConformanceConstraint> Synthesizer::Synthesize(
     const dataframe::DataFrame& df) const {
+  obs::ObsSpan span("synth.full", "synth");
   SimpleConstraint global;
   if (options_.include_global) {
     CCS_ASSIGN_OR_RETURN(global, SynthesizeSimple(df));

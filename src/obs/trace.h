@@ -1,0 +1,168 @@
+// Trace spans: RAII scopes recorded into bounded per-thread ring
+// buffers, exported as Chrome trace-event JSON (chrome://tracing,
+// https://ui.perfetto.dev).
+//
+// Lifecycle: instrumentation sites construct `ObsSpan` unconditionally;
+// the span resolves to a no-op (one relaxed atomic load, no clock read)
+// unless a run-level `ObsSession` is active. Exactly one session may be
+// active at a time; tools create one around a run (`ccsynth monitor
+// --trace`), collect, and export. Spans must close before the session
+// is destroyed — instrumented code guarantees this by scoping spans
+// strictly inside the work they time, closing them before any
+// completion signal that could unblock the session owner.
+//
+// Determinism: spans observe timing, they never steer it. Recording is
+// out-of-band by construction — the ring is append-only state no
+// computation reads back — so scored output and golden gauntlet traces
+// are bitwise identical with tracing on or off (enforced by
+// tests/stream_test.cc and the gauntlet golden suite).
+
+#ifndef CCS_OBS_TRACE_H_
+#define CCS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace ccs::obs {
+
+class ObsSession;
+
+/// One closed span. `name` is copied (truncated) at record time so
+/// callers may pass transient strings; `category` must be a string
+/// literal (or otherwise outlive the session).
+struct TraceEvent {
+  char name[48];
+  const char* category;
+  uint64_t start_ns;  // NowNanos() at span open (absolute monotonic).
+  uint64_t dur_ns;
+  uint32_t tid;  // Session-local thread index (order of first span).
+};
+
+namespace internal {
+
+/// Bounded ring of TraceEvents owned by one (session, thread) pair.
+/// When full, the oldest event is overwritten and `dropped` counts it.
+/// The per-ring mutex is effectively uncontended (one writer thread;
+/// readers only at collection time) but keeps Collect-while-recording
+/// TSan-clean.
+class SpanRing {
+ public:
+  SpanRing(size_t capacity, uint32_t tid);
+
+  void Record(const char* name, const char* category, uint64_t start_ns,
+              uint64_t dur_ns) CCS_EXCLUDES(mu_);
+
+  /// Appends this ring's events, oldest first, to *out.
+  void CollectInto(std::vector<TraceEvent>* out) const CCS_EXCLUDES(mu_);
+
+  uint64_t dropped() const CCS_EXCLUDES(mu_);
+  uint32_t tid() const { return tid_; }
+
+ private:
+  const uint32_t tid_;
+  mutable common::Mutex mu_;
+  std::vector<TraceEvent> slots_ CCS_GUARDED_BY(mu_);
+  size_t next_ CCS_GUARDED_BY(mu_) = 0;    // Next slot to write.
+  size_t size_ CCS_GUARDED_BY(mu_) = 0;    // Events held (<= capacity).
+  uint64_t dropped_ CCS_GUARDED_BY(mu_) = 0;
+};
+
+/// Ring for the calling thread in the active session, or nullptr when
+/// no session is active. Cached thread_local, revalidated per session
+/// via an epoch counter.
+SpanRing* CurrentRing();
+
+}  // namespace internal
+
+/// Aggregate of all spans sharing a name (bench stage breakdowns).
+struct SpanStats {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+};
+
+/// A run-scoped trace recording. Construct to start capturing spans
+/// process-wide, destroy to stop; at most one session may be active at
+/// a time (checked). Collect/export may be called while spans are still
+/// being recorded (heartbeats) or after quiescence (final dump).
+class ObsSession {
+ public:
+  /// `ring_capacity` bounds events retained per thread; beyond it the
+  /// oldest are overwritten (see dropped()).
+  explicit ObsSession(size_t ring_capacity = 8192);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// The active session, or nullptr. Relaxed load — this is the no-op
+  /// fast path every ObsSpan takes when tracing is off.
+  static ObsSession* Active();
+
+  /// NowNanos() at construction; trace timestamps are exported relative
+  /// to this.
+  uint64_t start_ns() const { return start_ns_; }
+
+  /// Session epoch (distinct per construction) for thread_local ring
+  /// cache validation.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Events overwritten across all rings so far.
+  uint64_t dropped() const CCS_EXCLUDES(mu_);
+
+  /// Snapshot of all recorded events, sorted by (start, tid).
+  std::vector<TraceEvent> Collect() const CCS_EXCLUDES(mu_);
+
+  /// Total duration and count per span name, over Collect().
+  std::map<std::string, SpanStats> AggregateByName() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[{"name","cat","ph":"X",
+  /// "ts","dur","pid","tid"},...],"displayTimeUnit":"ms"} with ts/dur
+  /// in microseconds relative to start_ns(). Load in chrome://tracing
+  /// or https://ui.perfetto.dev.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Ring for the calling thread, created on first use. Prefer
+  /// internal::CurrentRing(), which caches.
+  internal::SpanRing* RingForThisThread() CCS_EXCLUDES(mu_);
+
+ private:
+  const size_t ring_capacity_;
+  const uint64_t epoch_;
+  const uint64_t start_ns_;
+  mutable common::Mutex mu_;
+  std::vector<std::unique_ptr<internal::SpanRing>> rings_
+      CCS_GUARDED_BY(mu_);
+};
+
+/// RAII span: times the enclosing scope into the active session's ring
+/// for this thread. When no session is active, construction is one
+/// relaxed atomic load and destruction is a branch — no clock reads, no
+/// allocation. `name` must outlive the scope (it is copied into the
+/// ring at close); `category` must be a string literal.
+class ObsSpan {
+ public:
+  ObsSpan(const char* name, const char* category);
+  ~ObsSpan();
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  internal::SpanRing* ring_;  // nullptr => inactive span.
+  const char* name_;
+  const char* category_;
+  uint64_t start_ns_;
+};
+
+}  // namespace ccs::obs
+
+#endif  // CCS_OBS_TRACE_H_

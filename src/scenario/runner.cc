@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "dataframe/csv.h"
 #include "stream/pipeline.h"
+#include "obs/trace.h"
 #include "stream/windower.h"
 
 namespace ccs::scenario {
@@ -69,6 +70,8 @@ std::string ScenarioTrace::ToString() const {
 
 StatusOr<ScenarioTrace> RunScenario(const ScenarioSpec& spec, uint64_t seed,
                                     size_t num_threads) {
+  // spec.name outlives the scope; the span copies it at close.
+  obs::ObsSpan span(spec.name.c_str(), "scenario");
   CCS_ASSIGN_OR_RETURN(RenderedScenario rendered, Render(spec, seed));
 
   ScenarioTrace trace;

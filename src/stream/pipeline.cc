@@ -1,12 +1,13 @@
 #include "stream/pipeline.h"
 
-#include <chrono>
 #include <thread>
 #include <utility>
 
 #include "common/bounded_queue.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ccs::stream {
 
@@ -71,9 +72,13 @@ Status StreamPipeline::CommitBatch(
     std::vector<DataFrame> batch,
     const std::function<void(const WindowScore&)>& on_score,
     PipelineStats* stats) {
-  CCS_ASSIGN_OR_RETURN(
-      std::vector<WindowScore> scores,
-      monitor_.ObserveWindows(batch, options_.num_threads));
+  obs::ObsSpan commit_span("stream.commit", "stream");
+  std::vector<WindowScore> scores;
+  {
+    obs::ObsSpan score_span("stream.score", "stream");
+    CCS_ASSIGN_OR_RETURN(scores,
+                         monitor_.ObserveWindows(batch, options_.num_threads));
+  }
   for (const WindowScore& score : scores) {
     ++stats->windows_scored;
     if (score.alarm) ++stats->alarms;
@@ -92,6 +97,7 @@ Status StreamPipeline::CommitBatch(
   // so a stream served in segments refreshes at the same absolute window
   // indices as the same stream served in one Run.
   if (monitor_.history_size() % options_.refresh_every == 0) {
+    obs::ObsSpan refresh_span("stream.refresh", "stream");
     CCS_ASSIGN_OR_RETURN(core::SimpleConstraint refreshed,
                          profile_.Synthesize());
     CCS_RETURN_IF_ERROR(monitor_.RefreshReference(refreshed));
@@ -106,10 +112,18 @@ StatusOr<PipelineStats> StreamPipeline::Run(
     const std::function<void(const WindowScore&)>& on_score,
     const dataframe::CsvOptions& csv_options) {
   PipelineStats stats;
-  auto start = std::chrono::steady_clock::now();
+  const uint64_t start_ns = obs::NowNanos();
+  obs::ObsSpan run_span("stream.run", "stream");
 
-  BoundedQueue<DataFrame> chunk_queue(options_.queue_capacity);
-  BoundedQueue<DataFrame> window_queue(options_.queue_capacity);
+  obs::Registry& registry = obs::Registry::Global();
+  BoundedQueue<DataFrame> chunk_queue(
+      options_.queue_capacity,
+      {registry.GetHistogram("stream.chunk_queue.push_wait_us"),
+       registry.GetHistogram("stream.chunk_queue.pop_wait_us")});
+  BoundedQueue<DataFrame> window_queue(
+      options_.queue_capacity,
+      {registry.GetHistogram("stream.window_queue.push_wait_us"),
+       registry.GetHistogram("stream.window_queue.pop_wait_us")});
 
   // ---- Stage 1: ingest. Parses schema-shaped chunks until EOF; each
   // Push blocks while the windowing stage is behind (backpressure).
@@ -125,7 +139,10 @@ StatusOr<PipelineStats> StreamPipeline::Run(
     size_t rows_ingested = 0;
     dataframe::CsvChunkReader reader(&in, schema_, csv_options);
     for (;;) {
-      StatusOr<DataFrame> chunk = reader.ReadChunk(options_.chunk_rows);
+      StatusOr<DataFrame> chunk = [&] {
+        obs::ObsSpan ingest_span("stream.ingest", "stream");
+        return reader.ReadChunk(options_.chunk_rows);
+      }();
       if (!chunk.ok()) {
         status = std::move(chunk).status();
         break;
@@ -152,7 +169,10 @@ StatusOr<PipelineStats> StreamPipeline::Run(
       status = windower.status();
     } else {
       while (std::optional<DataFrame> chunk = chunk_queue.Pop()) {
-        StatusOr<std::vector<DataFrame>> windows = windower->Push(*chunk);
+        StatusOr<std::vector<DataFrame>> windows = [&] {
+          obs::ObsSpan window_span("stream.window", "stream");
+          return windower->Push(*chunk);
+        }();
         if (!windows.ok()) {
           status = std::move(windows).status();
           break;
@@ -230,12 +250,28 @@ StatusOr<PipelineStats> StreamPipeline::Run(
   stats.chunk_queue_peak = chunk_queue.peak_depth();
   stats.window_queue_peak = window_queue.peak_depth();
   stats.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  stats.rows_per_second = stats.elapsed_seconds > 0.0
-                              ? static_cast<double>(stats.rows_ingested) /
-                                    stats.elapsed_seconds
-                              : 0.0;
+      static_cast<double>(obs::NowNanos() - start_ns) * 1e-9;
+  // SafeRate reports 0 (never inf/nan) on tiny or empty streams where
+  // elapsed time is degenerate.
+  stats.rows_per_second = obs::SafeRate(
+      static_cast<double>(stats.rows_ingested), stats.elapsed_seconds);
+
+  // Mirror the returned stats into the process-wide registry from the
+  // very same values, so `--stats` and `--metrics-json` cannot disagree.
+  registry.GetCounter("stream.rows_ingested")->Add(stats.rows_ingested);
+  registry.GetCounter("stream.windows_scored")->Add(stats.windows_scored);
+  registry.GetCounter("stream.alarms")->Add(stats.alarms);
+  registry.GetCounter("stream.refreshes")->Add(stats.refreshes);
+  registry.GetCounter("stream.window.rows_copied")
+      ->Add(stats.window_rows_copied);
+  registry.GetCounter("stream.window.buffer_reallocs")
+      ->Add(stats.window_buffer_reallocs);
+  registry.GetGauge("stream.chunk_queue.peak")
+      ->UpdateMax(static_cast<int64_t>(stats.chunk_queue_peak));
+  registry.GetGauge("stream.window_queue.peak")
+      ->UpdateMax(static_cast<int64_t>(stats.window_queue_peak));
+  registry.GetGauge("stream.window.buffer_capacity_rows")
+      ->UpdateMax(static_cast<int64_t>(stats.window_buffer_capacity_rows));
   return stats;
 }
 

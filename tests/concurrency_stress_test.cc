@@ -24,6 +24,8 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "core/monitor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/pipeline.h"
 
 namespace ccs {
@@ -313,6 +315,121 @@ TEST(PipelineStressTest, TinyQueuesManyThreadsStayDeterministic) {
     EXPECT_EQ(contended[i].drift, roomy[i].drift) << "window " << i;
     EXPECT_EQ(contended[i].alarm, roomy[i].alarm);
   }
+}
+
+// -------------------------------------------------------- observability
+
+TEST(ObsStressTest, RegistryCountersAndHistogramsUnderChurn) {
+  // Writer threads hammer one striped counter and one histogram looked
+  // up through the global registry (exercising the interning path from
+  // every thread) while a reader loops value()/Snapshot()/ToJson().
+  // Exact totals must survive: striping shards contention, not counts.
+  constexpr int kWriters = 6;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      obs::Counter* c = obs::Registry::Global().GetCounter("stress.counter");
+      obs::Histogram* h =
+          obs::Registry::Global().GetHistogram("stress.hist", {1.0, 10.0, 100.0});
+      for (int i = 0; i < kPerWriter; ++i) {
+        c->Increment();
+        h->Observe(static_cast<double>(i % 128));
+      }
+    });
+  }
+  std::thread reader([&] {
+    obs::Counter* c = obs::Registry::Global().GetCounter("stress.counter");
+    obs::Histogram* h = obs::Registry::Global().GetHistogram("stress.hist");
+    uint64_t last = 0;
+    while (!done.load()) {
+      uint64_t now = c->value();
+      ASSERT_GE(now, last);  // Counters only grow while writers run.
+      last = now;
+      obs::HistogramSnapshot snap = h->Snapshot();
+      ASSERT_LE(snap.total_count, static_cast<uint64_t>(kWriters) * kPerWriter);
+      std::string json = obs::Registry::Global().ToJson();
+      ASSERT_FALSE(json.empty());
+    }
+  });
+  for (auto& t : writers) t.join();
+  done.store(true);
+  reader.join();
+
+  obs::Registry& reg = obs::Registry::Global();
+  EXPECT_EQ(reg.GetCounter("stress.counter")->value(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  obs::HistogramSnapshot snap = reg.GetHistogram("stress.hist")->Snapshot();
+  EXPECT_EQ(snap.total_count, static_cast<uint64_t>(kWriters) * kPerWriter);
+}
+
+TEST(ObsStressTest, RegistryInterningRaces) {
+  // Many threads intern overlapping metric names at once; every thread
+  // must get the same pointer for the same name, whichever thread won
+  // the insertion race.
+  constexpr int kThreads = 8;
+  constexpr int kNames = 16;
+  std::vector<std::vector<obs::Counter*>> seen(kThreads,
+                                               std::vector<obs::Counter*>(kNames));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int n = 0; n < kNames; ++n) {
+        seen[t][n] = obs::Registry::Global().GetCounter(
+            "stress.intern." + std::to_string(n));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int n = 0; n < kNames; ++n) {
+    for (int t = 1; t < kThreads; ++t) {
+      ASSERT_EQ(seen[t][n], seen[0][n]) << "name " << n << " thread " << t;
+    }
+  }
+}
+
+TEST(ObsStressTest, CollectWhileRecordingSpanChurn) {
+  // N threads open/close spans into small per-thread rings while the
+  // session owner repeatedly calls Collect()/dropped()/
+  // ToChromeTraceJson() — the live-inspection pattern the per-ring
+  // mutexes exist for. Loose assertions: well-formed names, bounded
+  // collection size, and recorded + dropped covering everything opened.
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 5000;
+  obs::ObsSession session(/*ring_capacity=*/64);
+  std::atomic<bool> go{false};
+  std::atomic<int> live{kThreads};
+
+  std::vector<std::thread> spanners;
+  for (int t = 0; t < kThreads; ++t) {
+    spanners.emplace_back([&, t] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        std::string name = "churn" + std::to_string(t);
+        obs::ObsSpan span(name.c_str(), "stress");
+      }
+      live.fetch_sub(1);
+    });
+  }
+  go.store(true);
+  while (live.load() > 0) {
+    std::vector<obs::TraceEvent> events = session.Collect();
+    ASSERT_LE(events.size(), static_cast<size_t>(kThreads) * 64 + 64);
+    for (const obs::TraceEvent& ev : events) {
+      ASSERT_EQ(std::string(ev.name).rfind("churn", 0), 0u);
+    }
+    std::string json = session.ToChromeTraceJson();
+    ASSERT_NE(json.find("traceEvents"), std::string::npos);
+    (void)session.dropped();
+  }
+  for (auto& t : spanners) t.join();
+
+  std::vector<obs::TraceEvent> final_events = session.Collect();
+  EXPECT_EQ(final_events.size() + session.dropped(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
 }
 
 }  // namespace

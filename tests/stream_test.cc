@@ -8,9 +8,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <optional>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +21,8 @@
 #include "common/random.h"
 #include "core/monitor.h"
 #include "dataframe/csv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/pipeline.h"
 #include "stream/windower.h"
 
@@ -790,6 +794,67 @@ TEST_F(StreamPipelineTest, MatchesSerialLoopWithSlideAndRefresh) {
     EXPECT_GT(stats->refreshes, 0u);
     ExpectHistoriesBitwiseEqual(pipeline->history(), serial);
   }
+}
+
+TEST_F(StreamPipelineTest, TracingOnVsOffBitwise) {
+  // The observability contract: an active ObsSession records spans and
+  // queue waits strictly out-of-band, so scored output is bitwise
+  // identical with tracing on or off, at any thread count.
+  DataFrame reference = TrendFrame(300, 0.0, 30);
+  std::string csv_text = ToCsv(TrendFrame(620, 5.0, 31, /*drift_from=*/310));
+
+  StreamPipelineOptions options;
+  options.window_rows = 60;
+  options.slide_rows = 25;
+  options.alarm_threshold = 0.25;
+  options.refresh_every = 3;
+  options.chunk_rows = 41;
+  options.queue_capacity = 2;
+  options.max_batch_windows = 4;
+
+  for (size_t threads : {1u, 4u}) {
+    options.num_threads = threads;
+
+    auto untraced = StreamPipeline::Create(reference, options);
+    ASSERT_TRUE(untraced.ok());
+    std::istringstream in_off(csv_text);
+    ASSERT_TRUE(untraced->Run(in_off).ok());
+
+    auto traced = StreamPipeline::Create(reference, options);
+    ASSERT_TRUE(traced.ok());
+    std::istringstream in_on(csv_text);
+    {
+      obs::ObsSession session;
+      ASSERT_TRUE(traced->Run(in_on).ok());
+      // The session actually observed the run: stage spans exist and
+      // the export is non-trivial.
+      std::vector<obs::TraceEvent> events = session.Collect();
+      EXPECT_FALSE(events.empty());
+      bool saw_score = false;
+      for (const obs::TraceEvent& ev : events) {
+        if (std::string(ev.name) == "stream.score") saw_score = true;
+      }
+      EXPECT_TRUE(saw_score);
+      EXPECT_NE(session.ToChromeTraceJson().find("\"ph\":\"X\""),
+                std::string::npos);
+    }
+
+    ExpectHistoriesBitwiseEqual(traced->history(), untraced->history());
+  }
+}
+
+TEST(StreamPipelineStatsTest, EmptyStreamReportsZeroRate) {
+  // rows_per_second on a degenerate (empty or near-instant) stream must
+  // be 0, never inf or NaN.
+  DataFrame reference = TrendFrame(100, 0.0, 32);
+  auto pipeline = StreamPipeline::Create(reference, {});
+  ASSERT_TRUE(pipeline.ok());
+  std::istringstream in("x,y\n");  // Header only: zero rows.
+  auto stats = pipeline->Run(in);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->rows_ingested, 0u);
+  EXPECT_EQ(stats->rows_per_second, 0.0);
+  EXPECT_TRUE(std::isfinite(stats->rows_per_second));
 }
 
 TEST_F(StreamPipelineTest, HistoryContinuesAcrossRuns) {

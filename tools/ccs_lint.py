@@ -35,6 +35,11 @@ Rules
   guarded-by       a class holding a Mutex by value whose other data
                    members carry neither CCS_GUARDED_BY nor an exemption
                    (const, static, Mutex/CondVar, std::atomic).
+  wall-clock       a wall-clock read (steady_clock / system_clock /
+                   high_resolution_clock) in src/ outside src/obs/.
+                   Clocks are observability-only: obs::NowNanos() is the
+                   sanctioned entry point, and nothing a kernel computes
+                   may depend on time (docs/observability.md).
   bad-allow        an allow comment with no reason, or naming an
                    unknown rule.
   unused-allow     an allow comment that suppressed nothing — stale
@@ -69,6 +74,7 @@ RULES = (
     "std-mutex",
     "rng-parallel",
     "guarded-by",
+    "wall-clock",
     "bad-allow",
     "unused-allow",
 )
@@ -91,6 +97,8 @@ STD_MUTEX_RE = re.compile(
     r"\bstd::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
     r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b")
 THREAD_RE = re.compile(r"\bstd::thread\b")
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\b")
 RNG_RE = re.compile(r"\b(?:ccs::)?(?:common::)?Rng\b")
 PARALLEL_DISPATCH_RE = re.compile(
     r"\bParallelFor(?:Each)?\b|\bstd::thread\b")
@@ -274,6 +282,10 @@ class FileLinter:
         spawn_ok = self.logical.endswith(THREAD_SPAWN_FILES)
         mutex_ok = self.logical.endswith(STD_MUTEX_FILES)
         rng_ok = self.logical.endswith(RNG_PARALLEL_EXEMPT_FILES)
+        # Clocks are confined to the observability layer; bench/ and
+        # tools/ are outside the default scan and exempt by path.
+        clock_banned = (self.logical.startswith("src/")
+                        and not self.logical.startswith("src/obs/"))
         # Rng thread-affinity: the rule arms once the file dispatches
         # parallel work anywhere — Rng in such a file needs an explained
         # partitioning (one Rng per lane, deterministic stream split).
@@ -289,6 +301,11 @@ class FileLinter:
                              "raw std:: synchronization primitive — use "
                              "common::Mutex/MutexLock/CondVar so Clang's "
                              "thread-safety analysis can see the lock")
+            if clock_banned and WALL_CLOCK_RE.search(line):
+                self._report(idx, "wall-clock",
+                             "wall-clock read outside src/obs — time is "
+                             "observability-only; route out-of-band "
+                             "measurement through obs::NowNanos()")
             if not rng_ok and has_parallel and RNG_RE.search(line):
                 self._report(idx, "rng-parallel",
                              "Rng in a file that dispatches parallel work — "

@@ -11,7 +11,8 @@
 //       Quantify drift of each window against the reference.
 //   ccsynth monitor --reference <ref.csv> <stream.csv|-> [--window N]
 //                   [--slide M] [--threshold T] [--refresh-every K]
-//                   [--threads N] [--json] [--stats]
+//                   [--threads N] [--json] [--stats] [--trace out.json]
+//                   [--metrics-json] [--heartbeat N]
 //       Tail a CSV stream through the pipelined serving engine: one
 //       score line per window (CSV or JSON lines), alarms when a window
 //       exceeds the threshold (exit code 2 if any fired), optional
@@ -19,7 +20,13 @@
 //       --stats additionally reports per-window allocation behaviour
 //       (rows copied per emit, rolling-buffer reallocations and
 //       capacity) plus peak RSS, making the zero-copy windowing
-//       observable from the CLI.
+//       observable from the CLI. --trace records stage spans into a
+//       Chrome trace-event file (chrome://tracing / Perfetto);
+//       --metrics-json dumps the metrics registry (counters, queue-wait
+//       histograms) as one JSON line on stderr after the run;
+//       --heartbeat emits a progress line to stderr every N windows
+//       (window-count based, so output is deterministic). See
+//       docs/observability.md.
 //   ccsynth explain <train.csv> <serving.csv>
 //       Per-attribute responsibility for serving non-conformance.
 //   ccsynth diff    <a.csv> <b.csv>
@@ -27,6 +34,7 @@
 //   ccsynth gauntlet [--scenario <name|spec.json>] [--seed N]
 //                    [--threads N] [--json] [--list] [--all]
 //                    [--check-golden DIR] [--update-golden DIR] [--fuzz N]
+//                    [--trace out.json]
 //       Run adversarial stream scenarios (src/scenario/) through the
 //       serving engine and emit deterministic alarm traces. --list
 //       enumerates the catalogue; --check-golden diffs every catalogue
@@ -43,11 +51,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/datadiff.h"
 #include "core/drift.h"
 #include "core/explain.h"
@@ -78,12 +89,13 @@ int Usage() {
                "  monitor  --reference <ref.csv> <stream.csv|-> [--window N]\n"
                "           [--slide M] [--threshold T] [--refresh-every K]\n"
                "           [--threads N] [--json] [--stats]\n"
+               "           [--trace out.json] [--metrics-json] [--heartbeat N]\n"
                "  explain  <train.csv> <serving.csv>\n"
                "  diff     <a.csv> <b.csv>\n"
                "  gauntlet [--scenario <name|spec.json>] [--seed N]\n"
                "           [--threads N] [--json] [--list] [--all]\n"
                "           [--check-golden DIR] [--update-golden DIR]\n"
-               "           [--fuzz N]\n");
+               "           [--fuzz N] [--trace out.json]\n");
   return 1;
 }
 
@@ -205,9 +217,11 @@ int RunDrift(const std::vector<std::string>& args) {
 }
 
 int RunMonitor(const std::vector<std::string>& args) {
-  std::string reference_path, stream_path;
+  std::string reference_path, stream_path, trace_path;
   bool emit_json = false;
   bool emit_stats = false;
+  bool emit_metrics_json = false;
+  size_t heartbeat = 0;
   stream::StreamPipelineOptions options;
   options.alarm_threshold = 0.05;
   for (size_t i = 0; i < args.size(); ++i) {
@@ -245,10 +259,20 @@ int RunMonitor(const std::vector<std::string>& args) {
         return Fail(Status::InvalidArgument("bad --threads"));
       }
       options.num_threads = static_cast<size_t>(*n);
+    } else if (const std::string* v = flag_value("--trace")) {
+      trace_path = *v;
+    } else if (const std::string* v = flag_value("--heartbeat")) {
+      auto n = ParseInt(*v);
+      if (!n.has_value() || *n <= 0) {
+        return Fail(Status::InvalidArgument("bad --heartbeat"));
+      }
+      heartbeat = static_cast<size_t>(*n);
     } else if (args[i] == "--json") {
       emit_json = true;
     } else if (args[i] == "--stats") {
       emit_stats = true;
+    } else if (args[i] == "--metrics-json") {
+      emit_metrics_json = true;
     } else if (stream_path.empty() && !StartsWith(args[i], "--")) {
       stream_path = args[i];
     } else {
@@ -277,7 +301,9 @@ int RunMonitor(const std::vector<std::string>& args) {
   std::istream& in = stream_path == "-" ? std::cin : file;
 
   if (!emit_json) std::printf("window,drift,alarm\n");
-  auto emit = [emit_json](const core::WindowScore& score) {
+  size_t windows_seen = 0, alarms_seen = 0;
+  auto emit = [emit_json, heartbeat, &windows_seen,
+               &alarms_seen](const core::WindowScore& score) {
     if (emit_json) {
       std::printf("{\"window\":%zu,\"drift\":%s,\"alarm\":%s}\n",
                   score.window_index, FormatDouble(score.drift).c_str(),
@@ -286,11 +312,33 @@ int RunMonitor(const std::vector<std::string>& args) {
       std::printf("%zu,%s,%d\n", score.window_index,
                   FormatDouble(score.drift).c_str(), score.alarm ? 1 : 0);
     }
+    ++windows_seen;
+    if (score.alarm) ++alarms_seen;
+    // Window-count cadence, not wall-clock: heartbeat output is a
+    // deterministic function of the stream.
+    if (heartbeat > 0 && windows_seen % heartbeat == 0) {
+      std::fprintf(stderr, "ccsynth: heartbeat windows=%zu alarms=%zu\n",
+                   windows_seen, alarms_seen);
+      std::fflush(stderr);
+    }
     // Scores must reach a piped consumer as they happen, not when the
     // (possibly endless) stream closes.
     std::fflush(stdout);
   };
+  // The session (when tracing) brackets exactly the pipeline run; every
+  // span inside Run closes before Run returns, so writing the trace
+  // after it sees the complete recording.
+  std::optional<obs::ObsSession> session;
+  if (!trace_path.empty()) session.emplace();
   auto stats = pipeline->Run(in, emit);
+  if (!trace_path.empty()) {
+    Status written = session->WriteChromeTrace(trace_path);
+    if (!written.ok()) return Fail(written);
+    std::fprintf(stderr, "ccsynth: wrote trace %s (%zu spans, %llu dropped)\n",
+                 trace_path.c_str(), session->Collect().size(),
+                 static_cast<unsigned long long>(session->dropped()));
+    session.reset();
+  }
   if (!stats.ok()) return Fail(stats.status());
 
   std::fprintf(stderr,
@@ -321,6 +369,11 @@ int RunMonitor(const std::vector<std::string>& args) {
       std::fprintf(stderr, "ccsynth: peak RSS %.1f MiB\n",
                    static_cast<double>(usage.ru_maxrss) / 1024.0);
     }
+  }
+  if (emit_metrics_json) {
+    // Last stderr line of the run: the registry the pipeline itself
+    // reported into, so it cannot disagree with the --stats numbers.
+    std::fprintf(stderr, "%s\n", obs::Registry::Global().ToJson().c_str());
   }
   return stats->alarms > 0 ? 2 : 0;
 }
@@ -412,7 +465,7 @@ int RunGauntlet(const std::vector<std::string>& args) {
   uint64_t seed = 1;
   size_t threads = 1;
   size_t fuzz = 0;
-  std::string scenario_arg, check_dir, update_dir;
+  std::string scenario_arg, check_dir, update_dir, trace_path;
   for (size_t i = 0; i < args.size(); ++i) {
     auto flag_value = [&](const char* name) -> const std::string* {
       if (args[i] == name && i + 1 < args.size()) return &args[++i];
@@ -442,6 +495,8 @@ int RunGauntlet(const std::vector<std::string>& args) {
       check_dir = *v;
     } else if (const std::string* v = flag_value("--update-golden")) {
       update_dir = *v;
+    } else if (const std::string* v = flag_value("--trace")) {
+      trace_path = *v;
     } else if (args[i] == "--list") {
       list = true;
     } else if (args[i] == "--json") {
@@ -460,6 +515,11 @@ int RunGauntlet(const std::vector<std::string>& args) {
     return 0;
   }
 
+  // With --trace, record the whole gauntlet body (whichever mode runs)
+  // under one session and write the trace even on early exits. Golden
+  // traces stay bitwise identical: ObsSpans never touch the scenario's
+  // alarm trace (see docs/observability.md).
+  auto body = [&]() -> int {
   if (fuzz > 0) {
     size_t failures = 0;
     for (size_t i = 0; i < fuzz; ++i) {
@@ -541,6 +601,18 @@ int RunGauntlet(const std::vector<std::string>& args) {
     return 1;
   }
   return 0;
+  };  // body
+
+  if (trace_path.empty()) return body();
+  obs::ObsSession session;
+  int rc = body();
+  Status written = session.WriteChromeTrace(trace_path);
+  if (!written.ok()) return Fail(written);
+  std::fprintf(stderr,
+               "ccsynth gauntlet: wrote trace %s (%zu spans, %llu dropped)\n",
+               trace_path.c_str(), session.Collect().size(),
+               static_cast<unsigned long long>(session.dropped()));
+  return rc;
 }
 
 int RunDiff(const std::vector<std::string>& args) {

@@ -1,0 +1,26 @@
+// Seeded violations for the wall-clock rule: clock reads outside
+// src/obs/ can leak time into computation (scores, ordering, refresh
+// cadence), breaking the determinism contract. Out-of-band measurement
+// must route through obs::NowNanos().
+// ccs-lint-fixture-path: src/core/wall_clock.cc
+
+#include <chrono>
+
+namespace fixture {
+
+long ReadsSteadyClock() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT-LINT: wall-clock
+  return t.time_since_epoch().count();
+}
+
+long ReadsSystemClock() {
+  using clock = std::chrono::system_clock;  // EXPECT-LINT: wall-clock
+  return clock::now().time_since_epoch().count();
+}
+
+long ReadsHighResolutionClock() {
+  // ccs-lint: allow(wall-clock): fixture demonstrating the escape hatch
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture
