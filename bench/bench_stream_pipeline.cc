@@ -199,7 +199,7 @@ int main(int argc, char** argv) {
       bench::CheckOk(pipeline.status());
       std::istringstream in(csv_text);
       auto stats = pipeline->Run(in);
-      bench::CheckOk(stats.status());
+      bench::CheckOk(stats.status);
       CheckBitwiseEqual(serial, pipeline->history(), t);
     }, reps);
     std::string label = "pipeline, " + std::to_string(t) +
@@ -228,7 +228,7 @@ int main(int argc, char** argv) {
     bench::CheckOk(pipeline.status());
     std::istringstream in(csv_text);
     auto stats = pipeline->Run(in);
-    bench::CheckOk(stats.status());
+    bench::CheckOk(stats.status);
     CheckBitwiseEqual(serial, pipeline->history(), options.num_threads);
   };
   double off_sec = BestSeconds(timed_run, reps);

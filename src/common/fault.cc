@@ -1,0 +1,379 @@
+#include "common/fault.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace ccs::common::fault {
+
+namespace {
+
+// splitmix64 finalizer — the same mixer scenario seeding uses, duplicated
+// here because common/ sits below scenario/ in the layering. Fixed
+// forever: armed golden traces depend on it.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits of a mixed draw.
+double UnitDraw(uint64_t stream, uint64_t hit) {
+  return static_cast<double>(Mix64(stream + hit) >> 11) * 0x1.0p-53;
+}
+
+StatusOr<StatusCode> CodeFromName(const std::string& name) {
+  if (name == "unavailable") return StatusCode::kUnavailable;
+  if (name == "internal") return StatusCode::kInternal;
+  if (name == "io-error") return StatusCode::kIoError;
+  if (name == "invalid-argument") return StatusCode::kInvalidArgument;
+  if (name == "failed-precondition") return StatusCode::kFailedPrecondition;
+  return Status::InvalidArgument("fault spec: unknown status code '" + name +
+                                 "'");
+}
+
+Status ValidatePoint(const FaultPoint& p) {
+  if (p.point.empty()) {
+    return Status::InvalidArgument("fault spec: point name must be non-empty");
+  }
+  if (p.trigger == "once") {
+    if (p.at == 0) {
+      return Status::InvalidArgument(
+          "fault spec: 'once' trigger needs at >= 1 (hit ordinals are "
+          "1-based)");
+    }
+  } else if (p.trigger == "every") {
+    if (p.every == 0) {
+      return Status::InvalidArgument(
+          "fault spec: 'every' trigger needs every >= 1");
+    }
+  } else if (p.trigger == "probability") {
+    if (!(p.probability >= 0.0 && p.probability <= 1.0)) {
+      return Status::InvalidArgument(
+          "fault spec: probability must be in [0, 1]");
+    }
+  } else {
+    return Status::InvalidArgument("fault spec: unknown trigger '" +
+                                   p.trigger + "'");
+  }
+  if (p.action != "error" && p.action != "crash") {
+    return Status::InvalidArgument("fault spec: unknown action '" + p.action +
+                                   "'");
+  }
+  return CodeFromName(p.code).status();
+}
+
+// Minimal JSON reader for the fault-spec shape, in the same strict
+// unknown-key-rejecting style as the scenario spec parser
+// (src/scenario/scenario.cc).
+class FaultJsonParser {
+ public:
+  explicit FaultJsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<FaultSpec> Parse() {
+    FaultSpec spec;
+    CCS_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) CCS_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      CCS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      CCS_RETURN_IF_ERROR(Expect(':'));
+      if (key == "seed") {
+        CCS_ASSIGN_OR_RETURN(double v, ParseNumber());
+        if (v < 0.0) {
+          return Status::InvalidArgument("fault spec JSON: negative seed");
+        }
+        spec.seed = static_cast<uint64_t>(v);
+      } else if (key == "points") {
+        CCS_RETURN_IF_ERROR(ParsePoints(&spec));
+      } else {
+        return Status::InvalidArgument("fault spec JSON: unknown key '" + key +
+                                       "'");
+      }
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("fault spec JSON: trailing content");
+    }
+    for (const FaultPoint& p : spec.points) {
+      CCS_RETURN_IF_ERROR(ValidatePoint(p));
+    }
+    return spec;
+  }
+
+ private:
+  Status ParsePoints(FaultSpec* spec) {
+    CCS_RETURN_IF_ERROR(Expect('['));
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (!first) CCS_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      CCS_RETURN_IF_ERROR(ParsePoint(spec));
+    }
+  }
+
+  Status ParsePoint(FaultSpec* spec) {
+    FaultPoint p;
+    CCS_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) CCS_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      CCS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      CCS_RETURN_IF_ERROR(Expect(':'));
+      if (key == "point") {
+        CCS_RETURN_IF_ERROR(AssignString(&p.point));
+      } else if (key == "trigger") {
+        CCS_RETURN_IF_ERROR(AssignString(&p.trigger));
+      } else if (key == "at") {
+        CCS_RETURN_IF_ERROR(AssignU64(&p.at));
+      } else if (key == "every") {
+        CCS_RETURN_IF_ERROR(AssignU64(&p.every));
+      } else if (key == "probability") {
+        CCS_ASSIGN_OR_RETURN(p.probability, ParseNumber());
+      } else if (key == "action") {
+        CCS_RETURN_IF_ERROR(AssignString(&p.action));
+      } else if (key == "code") {
+        CCS_RETURN_IF_ERROR(AssignString(&p.code));
+      } else if (key == "message") {
+        CCS_RETURN_IF_ERROR(AssignString(&p.message));
+      } else {
+        return Status::InvalidArgument("fault spec JSON: unknown point key '" +
+                                       key + "'");
+      }
+    }
+    spec->points.push_back(std::move(p));
+    return Status::OK();
+  }
+
+  Status AssignString(std::string* out) {
+    CCS_ASSIGN_OR_RETURN(*out, ParseString());
+    return Status::OK();
+  }
+
+  Status AssignU64(uint64_t* out) {
+    CCS_ASSIGN_OR_RETURN(double v, ParseNumber());
+    if (v < 0.0) {
+      return Status::InvalidArgument("fault spec JSON: negative count");
+    }
+    *out = static_cast<uint64_t>(v);
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ParseString() {
+    CCS_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        out.push_back(text_[pos_++]);  // \" and \\ only — names are plain.
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("fault spec JSON: unterminated string");
+    }
+    ++pos_;
+    return out;
+  }
+
+  StatusOr<double> ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    std::optional<double> v = ParseDouble(text_.substr(start, pos_ - start));
+    if (!v.has_value()) {
+      return Status::InvalidArgument("fault spec JSON: bad number at " +
+                                     std::to_string(start));
+    }
+    return *v;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::InvalidArgument(
+          std::string("fault spec JSON: expected '") + c + "' at offset " +
+          std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+StatusOr<FaultSpec> ParseFaultSpecJson(const std::string& text) {
+  return FaultJsonParser(text).Parse();
+}
+
+std::string FaultSpecToJson(const FaultSpec& spec) {
+  std::string out = "{\"seed\": " + std::to_string(spec.seed) +
+                    ", \"points\": [";
+  for (size_t i = 0; i < spec.points.size(); ++i) {
+    const FaultPoint& p = spec.points[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"point\": ";
+    AppendJsonString(&out, p.point);
+    out += ", \"trigger\": ";
+    AppendJsonString(&out, p.trigger);
+    if (p.trigger == "once" && p.at != 1) {
+      out += ", \"at\": " + std::to_string(p.at);
+    }
+    if (p.trigger == "every") {
+      out += ", \"every\": " + std::to_string(p.every);
+    }
+    if (p.trigger == "probability") {
+      out += ", \"probability\": " + FormatDouble(p.probability);
+    }
+    if (p.action != "error") {
+      out += ", \"action\": ";
+      AppendJsonString(&out, p.action);
+    }
+    if (p.code != "unavailable") {
+      out += ", \"code\": ";
+      AppendJsonString(&out, p.code);
+    }
+    if (!p.message.empty()) {
+      out += ", \"message\": ";
+      AppendJsonString(&out, p.message);
+    }
+    out += "}";
+  }
+  out += spec.points.empty() ? "]}" : "\n]}";
+  return out;
+}
+
+Injector& Injector::Global() {
+  static Injector* injector = new Injector();
+  return *injector;
+}
+
+Status Injector::Arm(FaultSpec spec) {
+  for (const FaultPoint& p : spec.points) {
+    CCS_RETURN_IF_ERROR(ValidatePoint(p));
+  }
+  MutexLock lock(&mu_);
+  points_.clear();
+  points_.reserve(spec.points.size());
+  for (size_t i = 0; i < spec.points.size(); ++i) {
+    PointState state;
+    state.spec = spec.points[i];
+    // One independent splitmix64 stream per armed entry, keyed on (seed,
+    // entry index): arming a new point never perturbs another's draws.
+    state.stream = Mix64(spec.seed ^ Mix64(i + 1));
+    points_.push_back(std::move(state));
+  }
+  injected_total_ = 0;
+  armed_.store(!points_.empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Injector::Disarm() {
+  MutexLock lock(&mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  points_.clear();
+  injected_total_ = 0;
+}
+
+Status Injector::Check(const char* point) {
+  if (!armed()) return Status::OK();
+  MutexLock lock(&mu_);
+  // Every entry armed on this point shares one hit ordinal (so a spec
+  // can compose, say, a transient error at hit 5 with a crash at hit
+  // 30); the first entry whose trigger fires wins.
+  uint64_t hit = 0;
+  for (PointState& state : points_) {
+    if (state.spec.point != point) continue;
+    if (hit == 0) hit = state.hits + 1;
+    state.hits = hit;
+    bool fire = false;
+    if (state.spec.trigger == "once") {
+      fire = hit == state.spec.at;
+    } else if (state.spec.trigger == "every") {
+      fire = hit % state.spec.every == 0;
+    } else {  // probability
+      fire = UnitDraw(state.stream, hit) < state.spec.probability;
+    }
+    if (!fire) continue;
+    ++state.injected;
+    ++injected_total_;
+    if (state.spec.action == "crash") {
+      // The kill -9 drill: no destructors, no stream flushing, no atexit
+      // (so sanitizer leak checks do not fire on the intentional corpse).
+      // 137 = 128 + SIGKILL, what a shell would report for the real thing.
+      std::_Exit(137);
+    }
+    std::string message =
+        state.spec.message.empty()
+            ? "fault injected at " + state.spec.point + " (hit " +
+                  std::to_string(hit) + ")"
+            : state.spec.message;
+    return Status(CodeFromName(state.spec.code).value(), std::move(message));
+  }
+  return Status::OK();
+}
+
+uint64_t Injector::injected() const {
+  MutexLock lock(&mu_);
+  return injected_total_;
+}
+
+uint64_t Injector::hits(const std::string& point) const {
+  MutexLock lock(&mu_);
+  // Entries armed on the same point share one ordinal; any of them
+  // carries the point's hit count.
+  for (const PointState& state : points_) {
+    if (state.spec.point == point) return state.hits;
+  }
+  return 0;
+}
+
+}  // namespace ccs::common::fault

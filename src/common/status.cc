@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

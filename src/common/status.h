@@ -24,6 +24,11 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIoError,
+  /// A transient failure: the operation may succeed if retried. The only
+  /// code the stream supervisor's bounded-retry policy re-attempts
+  /// (src/stream/supervisor.h); deterministic fault injection
+  /// (src/common/fault.h) emits it by default.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -70,6 +75,9 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

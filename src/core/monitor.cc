@@ -57,6 +57,7 @@ StreamMonitor::StreamMonitor(StreamMonitor&& other) noexcept
       alarm_threshold_(other.alarm_threshold_) {
   common::MutexLock lock(&other.mu_);
   history_ = std::move(other.history_);
+  history_base_ = other.history_base_;
 }
 
 StreamMonitor& StreamMonitor::operator=(StreamMonitor&& other) noexcept {
@@ -64,18 +65,21 @@ StreamMonitor& StreamMonitor::operator=(StreamMonitor&& other) noexcept {
   quantifier_ = std::move(other.quantifier_);
   alarm_threshold_ = other.alarm_threshold_;
   std::vector<WindowScore> taken;
+  size_t taken_base = 0;
   {
     common::MutexLock lock(&other.mu_);
     taken = std::move(other.history_);
+    taken_base = other.history_base_;
   }
   common::MutexLock lock(&mu_);
   history_ = std::move(taken);
+  history_base_ = taken_base;
   return *this;
 }
 
 WindowScore StreamMonitor::CommitScore(double drift) {
   WindowScore score;
-  score.window_index = history_.size();
+  score.window_index = history_base_ + history_.size();
   score.drift = drift;
   score.alarm = drift > alarm_threshold_;
   history_.push_back(score);
@@ -147,7 +151,17 @@ std::vector<WindowScore> StreamMonitor::history() const {
 
 size_t StreamMonitor::history_size() const {
   common::MutexLock lock(&mu_);
-  return history_.size();
+  return history_base_ + history_.size();
+}
+
+Status StreamMonitor::RestoreHistoryBase(size_t n) {
+  common::MutexLock lock(&mu_);
+  if (!history_.empty() || history_base_ != 0) {
+    return Status::FailedPrecondition(
+        "StreamMonitor::RestoreHistoryBase: history already has scores");
+  }
+  history_base_ = n;
+  return Status::OK();
 }
 
 }  // namespace ccs::core

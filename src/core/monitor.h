@@ -48,6 +48,19 @@ class IncrementalSynthesizer {
   /// Synthesizes the constraint for everything observed so far.
   StatusOr<SimpleConstraint> Synthesize() const;
 
+  /// The fixed numeric schema this synthesizer accumulates over.
+  const std::vector<std::string>& attribute_names() const { return names_; }
+
+  /// The streaming Gram state (count + raw sum) — everything a
+  /// checkpoint needs to rebuild this synthesizer bit-exactly.
+  const linalg::GramAccumulator& gram() const { return gram_; }
+
+  /// Overwrites the Gram state with a checkpointed (RawSum, count) pair;
+  /// see linalg::GramAccumulator::RestoreState.
+  Status RestoreGram(const linalg::Matrix& sum, int64_t count) {
+    return gram_.RestoreState(sum, count);
+  }
+
  private:
   std::vector<std::string> names_;
   Synthesizer synthesizer_;
@@ -113,14 +126,31 @@ class StreamMonitor {
   Status RefreshReference(const SimpleConstraint& constraint)
       CCS_EXCLUDES(mu_);
 
-  /// A snapshot of all scores so far, in arrival order. Copies under the
+  /// A snapshot of the scores committed by THIS process, in arrival
+  /// order (after RestoreHistoryBase the pre-resume scores are not in
+  /// memory; their count still offsets every index). Copies under the
   /// lock; safe to call from any thread.
   std::vector<WindowScore> history() const CCS_EXCLUDES(mu_);
 
-  /// Number of scores committed so far (cheaper than history().size()).
+  /// Number of scores committed so far, including the restored base
+  /// (cheaper than history().size()).
   size_t history_size() const CCS_EXCLUDES(mu_);
 
   double alarm_threshold() const { return alarm_threshold_; }
+
+  /// Rebases the history to `n` already-committed scores — the
+  /// checkpoint-resume hook. Window indices and the refresh cadence
+  /// continue from n exactly as if those scores had been committed by
+  /// this process; the scores themselves stay in the pre-crash output.
+  /// FailedPrecondition once any score has been committed.
+  Status RestoreHistoryBase(size_t n) CCS_EXCLUDES(mu_);
+
+  /// The current reference profile (the Fit result, or the constraint
+  /// adopted by the latest RefreshReference). Call only from the
+  /// observer thread between batches — checkpoint capture does.
+  const ConformanceConstraint& reference_constraint() const {
+    return quantifier_.constraint();
+  }
 
  private:
   StreamMonitor(ConformanceDriftQuantifier quantifier, double alarm_threshold)
@@ -138,6 +168,8 @@ class StreamMonitor {
   double alarm_threshold_;  // ccs-lint: allow(guarded-by): written only at construction
   mutable common::Mutex mu_;
   std::vector<WindowScore> history_ CCS_GUARDED_BY(mu_);
+  /// Scores committed before a checkpoint-resume (0 outside resume).
+  size_t history_base_ CCS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ccs::core

@@ -122,6 +122,20 @@ Status GramAccumulator::Merge(const GramAccumulator& other) {
   return Status::OK();
 }
 
+Status GramAccumulator::RestoreState(const Matrix& sum, int64_t count) {
+  if (sum.rows() != m_ + 1 || sum.cols() != m_ + 1) {
+    return Status::InvalidArgument(
+        "GramAccumulator::RestoreState: sum must be (m+1) x (m+1)");
+  }
+  if (count < 0) {
+    return Status::InvalidArgument(
+        "GramAccumulator::RestoreState: negative count");
+  }
+  sum_ = sum;
+  n_ = count;
+  return Status::OK();
+}
+
 Matrix GramAccumulator::AugmentedGram() const { return sum_; }
 
 Matrix GramAccumulator::Gram() const {

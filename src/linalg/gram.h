@@ -95,6 +95,16 @@ class GramAccumulator {
   /// Population covariance matrix (divides by n). Requires count() > 0.
   Matrix Covariance() const;
 
+  /// The raw running (m+1) x (m+1) sum of (1,t)(1,t)^T — the complete
+  /// accumulator state alongside count(). Checkpoint serialization
+  /// (stream/checkpoint.h) round-trips it bit-exactly.
+  const Matrix& RawSum() const { return sum_; }
+
+  /// Overwrites the accumulator state with a previously captured
+  /// (RawSum, count) pair — the checkpoint-resume hook. InvalidArgument
+  /// when `sum` is not (m+1) x (m+1) or `count` is negative.
+  Status RestoreState(const Matrix& sum, int64_t count);
+
  private:
   // One tuple's worth of (1,t)(1,t)^T terms from a contiguous row of m_
   // doubles — the single definition of the per-entry term order every

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "dataframe/csv.h"
 #include "stream/pipeline.h"
@@ -45,6 +46,34 @@ bool AlarmAt(double score, double threshold) {
   return score > threshold;
 }
 
+// Injector seed for a run: a fixed mix of the master seed, disjoint
+// from the render streams (scenario.cc mixes streams 0, 1, 2+i off the
+// same master; fault.cc re-mixes per point, so a plain XOR suffices
+// here). Fixed forever — fault-scenario goldens depend on it.
+uint64_t FaultSeed(uint64_t seed) { return seed ^ 0x9E3779B97F4A7C15ull; }
+
+// Disarms the global fault injector when the run leaves scope, error
+// paths included — a leaked armed spec would inject into the next run.
+class ArmedFaultsGuard {
+ public:
+  explicit ArmedFaultsGuard(bool armed) : armed_(armed) {}
+  ~ArmedFaultsGuard() {
+    if (armed_) common::fault::Injector::Global().Disarm();
+  }
+  ArmedFaultsGuard(const ArmedFaultsGuard&) = delete;
+  ArmedFaultsGuard& operator=(const ArmedFaultsGuard&) = delete;
+
+ private:
+  bool armed_;
+};
+
+std::string QuarantineLine(const std::string& stage, size_t index,
+                           size_t rows_lost, StatusCode reason) {
+  return "quarantine stage=" + stage + " index=" + std::to_string(index) +
+         " rows=" + std::to_string(rows_lost) +
+         " reason=" + StatusCodeToString(reason) + "\n";
+}
+
 }  // namespace
 
 std::string ScenarioTrace::ToString() const {
@@ -56,9 +85,25 @@ std::string ScenarioTrace::ToString() const {
       out += "refresh windows=" + std::to_string(e.window_index) + "\n";
       continue;
     }
+    if (e.kind == TraceEvent::Kind::kQuarantine) {
+      out += QuarantineLine(e.stage, e.window_index, e.rows_lost, e.reason);
+      continue;
+    }
     out += "window " + std::to_string(e.window_index) +
            " score=" + ScoreBits(e.score) + " (" + ScoreHuman(e.score) +
            ") alarm=" + (e.alarm ? "1" : "0") + "\n";
+  }
+  for (const stream::QuarantineRecord& q : stage_quarantine) {
+    out += QuarantineLine(q.stage, q.index, q.rows_lost, q.reason.code());
+  }
+  // Only degraded runs carry the summary line, so fault-free traces stay
+  // byte-identical to the pre-robustness format.
+  if (rows_quarantined != 0 || windows_quarantined != 0 || retries != 0 ||
+      faults_injected != 0) {
+    out += "degraded rows_quarantined=" + std::to_string(rows_quarantined) +
+           " windows_quarantined=" + std::to_string(windows_quarantined) +
+           " retries=" + std::to_string(retries) +
+           " faults_injected=" + std::to_string(faults_injected) + "\n";
   }
   out += "end status=" + terminal.ToString() +
          " rows=" + std::to_string(rows_ingested) +
@@ -86,7 +131,21 @@ StatusOr<ScenarioTrace> RunScenario(const ScenarioSpec& spec, uint64_t seed,
   options.refresh_every = spec.refresh_every;
   options.num_threads = num_threads;
   options.chunk_rows = spec.chunk_rows;
-  // Both callbacks run on the calling thread, in commit order.
+  // A policy string that does not parse means the spec itself is
+  // unusable — a harness error, not trace behavior.
+  if (!spec.ingest_policy.empty()) {
+    CCS_ASSIGN_OR_RETURN(options.ingest_policy,
+                         stream::FailurePolicy::Parse(spec.ingest_policy));
+  }
+  if (!spec.window_policy.empty()) {
+    CCS_ASSIGN_OR_RETURN(options.window_policy,
+                         stream::FailurePolicy::Parse(spec.window_policy));
+  }
+  if (!spec.score_policy.empty()) {
+    CCS_ASSIGN_OR_RETURN(options.score_policy,
+                         stream::FailurePolicy::Parse(spec.score_policy));
+  }
+  // All three callbacks run on the calling thread, in commit order.
   options.on_refresh = [&trace](size_t windows_scored) {
     TraceEvent e;
     e.kind = TraceEvent::Kind::kRefresh;
@@ -94,13 +153,31 @@ StatusOr<ScenarioTrace> RunScenario(const ScenarioSpec& spec, uint64_t seed,
     trace.events.push_back(e);
     ++trace.refreshes;
   };
+  options.on_quarantine = [&trace](const stream::QuarantineRecord& record) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kQuarantine;
+    e.window_index = record.index;
+    e.stage = record.stage;
+    e.rows_lost = record.rows_lost;
+    e.reason = record.reason.code();
+    trace.events.push_back(e);
+  };
 
   CCS_ASSIGN_OR_RETURN(
       stream::StreamPipeline pipeline,
       stream::StreamPipeline::Create(rendered.reference, options));
 
+  if (!spec.faults.empty()) {
+    common::fault::FaultSpec fault_spec;
+    fault_spec.seed = FaultSeed(seed);
+    fault_spec.points = spec.faults;
+    CCS_RETURN_IF_ERROR(
+        common::fault::Injector::Global().Arm(std::move(fault_spec)));
+  }
+  ArmedFaultsGuard fault_guard(!spec.faults.empty());
+
   std::istringstream in(rendered.stream.ToCsv());
-  StatusOr<stream::PipelineStats> stats =
+  stream::PipelineRunResult result =
       pipeline.Run(in, [&trace](const core::WindowScore& score) {
         TraceEvent e;
         e.kind = TraceEvent::Kind::kWindow;
@@ -111,14 +188,23 @@ StatusOr<ScenarioTrace> RunScenario(const ScenarioSpec& spec, uint64_t seed,
         ++trace.windows_scored;
         if (score.alarm) ++trace.alarms;
       });
-  if (stats.ok()) {
-    trace.rows_ingested = stats->rows_ingested;
+  trace.rows_quarantined = result->rows_quarantined;
+  trace.windows_quarantined = result->windows_quarantined;
+  trace.retries = result->retries;
+  trace.faults_injected = result->faults_injected;
+  for (const stream::QuarantineRecord& record : result->quarantine) {
+    if (record.stage == "ingest" || record.stage == "window") {
+      trace.stage_quarantine.push_back(record);
+    }
+  }
+  if (result.ok()) {
+    trace.rows_ingested = result->rows_ingested;
   } else {
     // Teardown error: the windows committed before it are part of the
-    // trace; row counts are not reported (they depend on where ingest
-    // stopped relative to the failure, which IS deterministic, but the
-    // stats snapshot is not returned on error).
-    trace.terminal = stats.status();
+    // trace. The partial stats are available now (PipelineRunResult),
+    // but rows stays 0 on error terminals — existing goldens pin that —
+    // and the degraded line carries the robustness counters instead.
+    trace.terminal = result.status;
   }
   return trace;
 }

@@ -4,15 +4,20 @@
 //
 // A trace is the scenario's observable behavior: one line per scored
 // window (index, drift score, alarm bit), one line per reference
-// refresh, and a terminal status line (clean end-of-stream or the
-// structured teardown error a malformed stream produced). Scores are
-// printed as raw IEEE-754 bits (NaN canonicalized to one quiet-NaN
-// pattern — payloads are not stable across compilations, see
-// docs/architecture.md) so golden comparison is bitwise, not
-// approximate. The determinism contract makes the whole trace a pure
-// function of (spec, seed): identical across reruns and across 1 vs 4
-// scoring threads, which tests/scenario_test.cc enforces and
-// tests/golden/*.trace pin across PRs.
+// refresh, one line per quarantined unit when the spec runs under a
+// degrading failure policy (docs/robustness.md), a `degraded` summary
+// line when any robustness counter is nonzero, and a terminal status
+// line (clean end-of-stream or the structured teardown error a
+// malformed stream produced). Scores are printed as raw IEEE-754 bits
+// (NaN canonicalized to one quiet-NaN pattern — payloads are not
+// stable across compilations, see docs/architecture.md) so golden
+// comparison is bitwise, not approximate. The determinism contract
+// makes the whole trace a pure function of (spec, seed) — fault
+// injection included, since the injector's decisions are too:
+// identical across reruns and across 1 vs 4 scoring threads, which
+// tests/scenario_test.cc enforces and tests/golden/*.trace pin across
+// PRs. Specs with no faults and fail-fast policies emit byte-identical
+// traces to the pre-robustness format.
 
 #ifndef CCS_SCENARIO_RUNNER_H_
 #define CCS_SCENARIO_RUNNER_H_
@@ -24,18 +29,26 @@
 #include "baselines/drift_detector.h"
 #include "common/statusor.h"
 #include "scenario/scenario.h"
+#include "stream/supervisor.h"
 
 namespace ccs::scenario {
 
-/// One trace event: a scored window or a profile refresh.
+/// One trace event: a scored window, a profile refresh, or a
+/// commit-thread quarantine (score/refresh stages — the ones whose
+/// records interleave deterministically with window commits).
 struct TraceEvent {
-  enum class Kind { kWindow, kRefresh };
+  enum class Kind { kWindow, kRefresh, kQuarantine };
   Kind kind = Kind::kWindow;
   /// Window index for kWindow; windows-scored-so-far (the refresh
-  /// boundary) for kRefresh.
+  /// boundary) for kRefresh; the stage-local unit ordinal for
+  /// kQuarantine.
   size_t window_index = 0;
   double score = 0.0;
   bool alarm = false;
+  /// kQuarantine only: which stage absorbed the unit, what it cost, why.
+  std::string stage;
+  size_t rows_lost = 0;
+  StatusCode reason = StatusCode::kOk;
 };
 
 /// The structured alarm trace of one scenario run.
@@ -53,6 +66,16 @@ struct ScenarioTrace {
   size_t windows_scored = 0;
   size_t alarms = 0;
   size_t refreshes = 0;
+  /// Robustness counters, from PipelineStats (all zero — and absent from
+  /// the text form — on a fail-fast, fault-free run).
+  size_t rows_quarantined = 0;
+  size_t windows_quarantined = 0;
+  size_t retries = 0;
+  size_t faults_injected = 0;
+  /// Ingest/window-stage quarantine records: they happen on their own
+  /// threads, so they are printed as a block after the events rather
+  /// than interleaved (each stage's ordering is still deterministic).
+  std::vector<stream::QuarantineRecord> stage_quarantine;
 
   /// Canonical text form (golden-file format, one event per line).
   /// Bitwise scores; NaN canonicalized. Two runs are "identical" iff

@@ -418,6 +418,9 @@ const std::vector<std::string>& CatalogueNames() {
       "evl-4cr-rotation",
       "led-segment-failure",
       "cardio-onset",
+      "fault-transient-score-retry",
+      "fault-score-quarantine",
+      "degraded-ingest-quarantine",
   };
   return *names;
 }
@@ -533,6 +536,42 @@ StatusOr<ScenarioSpec> CatalogueSpec(const std::string& name, size_t scale) {
     spec.alarm_threshold = 0.01;
     return spec;
   }
+  if (name == "fault-transient-score-retry") {
+    // Transient faults at every 7th score-gate hit, absorbed by bounded
+    // retry: the committed history is bitwise identical to `steady`, and
+    // only the trace's degraded line betrays the turbulence. Hit
+    // ordinals advance per attempt, so the injection sites are still a
+    // pure function of (seed, spec).
+    spec.score_policy = "retry:2";
+    common::fault::FaultPoint fault;
+    fault.point = "stream.score.window";
+    fault.trigger = "every";
+    fault.every = 7;
+    spec.faults = {fault};
+    return spec;
+  }
+  if (name == "fault-score-quarantine") {
+    // The score gate fails persistently at consumed window 13;
+    // quarantine-and-continue skips exactly that window and the history
+    // closes over the gap (window geometry is scale-free: 24 windows at
+    // every scale).
+    spec.score_policy = "quarantine";
+    common::fault::FaultPoint fault;
+    fault.point = "stream.score.window";
+    fault.trigger = "once";
+    fault.at = 13;
+    spec.faults = {fault};
+    return spec;
+  }
+  if (name == "degraded-ingest-quarantine") {
+    // The garbled-cell teardown scenario under an ingest quarantine
+    // policy: the unparseable row 750 costs one quarantined data row and
+    // shifts every later window boundary by one, but the stream serves
+    // to completion.
+    spec.ingest_policy = "quarantine";
+    spec.stages = {Stage("garble", "x", 0.0, 750 * k, 751 * k)};
+    return spec;
+  }
   return Status::NotFound("scenario: no catalogue entry named '" + name +
                           "'");
 }
@@ -595,6 +634,26 @@ ScenarioSpec RandomSpec(Rng* rng) {
     stage.period = static_cast<size_t>(rng->UniformInt(20, 200));
     spec.stages.push_back(std::move(stage));
   }
+
+  // A quarter of draws run degraded: deterministic score-gate faults
+  // absorbed by retry or quarantine. Error actions only (a crash draw
+  // would kill the harness), and the default retryable code, so the
+  // worst terminal a draw can produce is kUnavailable — never kInternal.
+  if (rng->Bernoulli(0.25)) {
+    spec.score_policy =
+        rng->Bernoulli(0.5) ? "quarantine" : "retry:1+quarantine";
+    common::fault::FaultPoint fault;
+    fault.point = "stream.score.window";
+    if (rng->Bernoulli(0.5)) {
+      fault.trigger = "every";
+      fault.every = static_cast<uint64_t>(rng->UniformInt(3, 9));
+    } else {
+      fault.trigger = "probability";
+      fault.probability = rng->Uniform(0.05, 0.3);
+    }
+    spec.faults.push_back(std::move(fault));
+  }
+  if (rng->Bernoulli(0.15)) spec.ingest_policy = "quarantine";
   return spec;
 }
 
@@ -644,6 +703,10 @@ class JsonParser {
     if (key == "refresh_every") return AssignSize(&spec->refresh_every);
     if (key == "chunk_rows") return AssignSize(&spec->chunk_rows);
     if (key == "stages") return ParseStages(spec);
+    if (key == "ingest_policy") return AssignString(&spec->ingest_policy);
+    if (key == "window_policy") return AssignString(&spec->window_policy);
+    if (key == "score_policy") return AssignString(&spec->score_policy);
+    if (key == "faults") return ParseFaults(spec);
     return Status::InvalidArgument("scenario spec JSON: unknown key '" + key +
                                    "'");
   }
@@ -700,6 +763,62 @@ class JsonParser {
     return Status::OK();
   }
 
+  Status ParseFaults(ScenarioSpec* spec) {
+    CCS_RETURN_IF_ERROR(Expect('['));
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (!first) CCS_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      CCS_RETURN_IF_ERROR(ParseFault(spec));
+    }
+  }
+
+  // One fault point, the common/fault.h spec shape. Validation of
+  // trigger/action/code names happens at Injector::Arm, not here.
+  Status ParseFault(ScenarioSpec* spec) {
+    common::fault::FaultPoint fault;
+    CCS_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) CCS_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      CCS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      CCS_RETURN_IF_ERROR(Expect(':'));
+      if (key == "point") {
+        CCS_RETURN_IF_ERROR(AssignString(&fault.point));
+      } else if (key == "trigger") {
+        CCS_RETURN_IF_ERROR(AssignString(&fault.trigger));
+      } else if (key == "at") {
+        CCS_RETURN_IF_ERROR(AssignU64(&fault.at));
+      } else if (key == "every") {
+        CCS_RETURN_IF_ERROR(AssignU64(&fault.every));
+      } else if (key == "probability") {
+        CCS_RETURN_IF_ERROR(AssignDouble(&fault.probability));
+      } else if (key == "action") {
+        CCS_RETURN_IF_ERROR(AssignString(&fault.action));
+      } else if (key == "code") {
+        CCS_RETURN_IF_ERROR(AssignString(&fault.code));
+      } else if (key == "message") {
+        CCS_RETURN_IF_ERROR(AssignString(&fault.message));
+      } else {
+        return Status::InvalidArgument(
+            "scenario spec JSON: unknown fault key '" + key + "'");
+      }
+    }
+    spec->faults.push_back(std::move(fault));
+    return Status::OK();
+  }
+
   Status AssignString(std::string* out) {
     CCS_ASSIGN_OR_RETURN(*out, ParseString());
     return Status::OK();
@@ -717,6 +836,15 @@ class JsonParser {
           "scenario spec JSON: negative row count");
     }
     *out = static_cast<size_t>(v);
+    return Status::OK();
+  }
+
+  Status AssignU64(uint64_t* out) {
+    CCS_ASSIGN_OR_RETURN(double v, ParseNumber());
+    if (v < 0.0) {
+      return Status::InvalidArgument("scenario spec JSON: negative ordinal");
+    }
+    *out = static_cast<uint64_t>(v);
     return Status::OK();
   }
 
@@ -814,6 +942,18 @@ std::string SpecToJson(const ScenarioSpec& spec) {
   out += ",\n  \"alarm_threshold\": " + FormatDouble(spec.alarm_threshold);
   out += ",\n  \"refresh_every\": " + std::to_string(spec.refresh_every);
   out += ",\n  \"chunk_rows\": " + std::to_string(spec.chunk_rows);
+  if (!spec.ingest_policy.empty()) {
+    out += ",\n  \"ingest_policy\": ";
+    AppendJsonString(&out, spec.ingest_policy);
+  }
+  if (!spec.window_policy.empty()) {
+    out += ",\n  \"window_policy\": ";
+    AppendJsonString(&out, spec.window_policy);
+  }
+  if (!spec.score_policy.empty()) {
+    out += ",\n  \"score_policy\": ";
+    AppendJsonString(&out, spec.score_policy);
+  }
   out += ",\n  \"stages\": [";
   for (size_t i = 0; i < spec.stages.size(); ++i) {
     const StageSpec& s = spec.stages[i];
@@ -837,7 +977,40 @@ std::string SpecToJson(const ScenarioSpec& spec) {
     if (s.period != 0) out += ", \"period\": " + std::to_string(s.period);
     out += "}";
   }
-  out += spec.stages.empty() ? "]\n}" : "\n  ]\n}";
+  out += spec.stages.empty() ? "]" : "\n  ]";
+  if (!spec.faults.empty()) {
+    out += ",\n  \"faults\": [";
+    for (size_t i = 0; i < spec.faults.size(); ++i) {
+      const common::fault::FaultPoint& f = spec.faults[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"point\": ";
+      AppendJsonString(&out, f.point);
+      out += ", \"trigger\": ";
+      AppendJsonString(&out, f.trigger);
+      if (f.trigger == "once") out += ", \"at\": " + std::to_string(f.at);
+      if (f.trigger == "every") {
+        out += ", \"every\": " + std::to_string(f.every);
+      }
+      if (f.trigger == "probability") {
+        out += ", \"probability\": " + FormatDouble(f.probability);
+      }
+      if (f.action != "error") {
+        out += ", \"action\": ";
+        AppendJsonString(&out, f.action);
+      }
+      if (f.code != "unavailable") {
+        out += ", \"code\": ";
+        AppendJsonString(&out, f.code);
+      }
+      if (!f.message.empty()) {
+        out += ", \"message\": ";
+        AppendJsonString(&out, f.message);
+      }
+      out += "}";
+    }
+    out += "\n  ]";
+  }
+  out += "\n}";
   return out;
 }
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/random.h"
 #include "common/statusor.h"
 #include "dataframe/dataframe.h"
@@ -90,6 +91,18 @@ struct ScenarioSpec {
   size_t refresh_every = 0;
   size_t chunk_rows = 64;
   std::vector<StageSpec> stages;
+  /// Per-stage failure policies handed to StreamPipeline by the runner,
+  /// in the stream/supervisor.h string grammar ("fail-fast",
+  /// "quarantine", "retry:N", "retry:N+quarantine"). Empty = fail-fast.
+  std::string ingest_policy;
+  std::string window_policy;
+  std::string score_policy;
+  /// Fault points armed for the run (common/fault.h). The injector seed
+  /// is a fixed mix of the run seed, so injected faults are as
+  /// replayable as the rendered stream. Error actions only in the
+  /// catalogue and fuzzer; crash actions are for the CLI kill-and-resume
+  /// drills.
+  std::vector<common::fault::FaultPoint> faults;
 };
 
 /// The textual row stream perturbation stages operate on. Cells are CSV

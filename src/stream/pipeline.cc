@@ -1,9 +1,13 @@
 #include "stream/pipeline.h"
 
+#include <algorithm>
+#include <cstring>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/bounded_queue.h"
+#include "common/fault.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
@@ -29,10 +33,19 @@ struct StageResult {
   Status status CCS_GUARDED_BY(mu);
   // Stage-specific counters (rows ingested; windower telemetry).
   size_t rows CCS_GUARDED_BY(mu) = 0;
+  size_t retries CCS_GUARDED_BY(mu) = 0;
+  bool stopped CCS_GUARDED_BY(mu) = false;
+  std::vector<QuarantineRecord> quarantined CCS_GUARDED_BY(mu);
   size_t rows_copied CCS_GUARDED_BY(mu) = 0;
   size_t buffer_reallocs CCS_GUARDED_BY(mu) = 0;
   size_t buffer_capacity CCS_GUARDED_BY(mu) = 0;
 };
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
 
 }  // namespace
 
@@ -44,6 +57,15 @@ StatusOr<StreamPipeline> StreamPipeline::Create(const DataFrame& reference,
   if (options.slide_rows > options.window_rows) {
     return Status::InvalidArgument(
         "StreamPipeline: slide_rows must not exceed window_rows");
+  }
+  if (!options.checkpoint_path.empty() &&
+      options.window_policy.mode == FailureMode::kQuarantine) {
+    // A quarantined chunk drops rows between windows, so the checkpoint
+    // equation rows_consumed = windows_consumed * step no longer locates
+    // the resume offset. Refuse rather than resume silently wrong.
+    return Status::InvalidArgument(
+        "StreamPipeline: window-stage quarantine cannot be combined with "
+        "checkpointing (dropped chunks break the resume row offset)");
   }
   if (options.chunk_rows == 0) options.chunk_rows = 1;
   if (options.queue_capacity == 0) options.queue_capacity = 1;
@@ -68,52 +90,244 @@ StatusOr<StreamPipeline> StreamPipeline::Create(const DataFrame& reference,
                         reference.schema(), options);
 }
 
+CheckpointData StreamPipeline::Snapshot() const {
+  CheckpointData data;
+  data.window_rows = options_.window_rows;
+  data.slide_rows = options_.slide_rows;
+  data.refresh_every = options_.refresh_every;
+  data.threshold_bits = DoubleBits(options_.alarm_threshold);
+  data.windows_committed = monitor_.history_size();
+  data.windows_consumed = windows_consumed_;
+  data.rows_consumed = windows_consumed_ * step_rows();
+  data.refreshes = refreshes_total_;
+  data.attribute_names = profile_.attribute_names();
+  data.gram_count = profile_.gram().count();
+  data.gram_sum = profile_.gram().RawSum();
+  if (refreshes_total_ > 0) {
+    // The adopted constraint is the product of refresh #refreshes_total_
+    // and must survive bit-exactly; before any refresh the profile is
+    // re-learned from the reference CSV on resume instead.
+    data.has_profile = true;
+    data.profile = monitor_.reference_constraint().global();
+  }
+  return data;
+}
+
+Status StreamPipeline::Restore(const CheckpointData& data) {
+  if (data.window_rows != options_.window_rows ||
+      data.slide_rows != options_.slide_rows ||
+      data.refresh_every != options_.refresh_every) {
+    return Status::InvalidArgument(
+        "StreamPipeline::Restore: checkpoint window/slide/refresh geometry "
+        "does not match this pipeline's options");
+  }
+  if (data.threshold_bits != DoubleBits(options_.alarm_threshold)) {
+    return Status::InvalidArgument(
+        "StreamPipeline::Restore: checkpoint alarm threshold does not match "
+        "this pipeline's options");
+  }
+  if (data.attribute_names != profile_.attribute_names()) {
+    return Status::InvalidArgument(
+        "StreamPipeline::Restore: checkpoint attribute schema does not match "
+        "the reference");
+  }
+  if (data.windows_consumed < data.windows_committed ||
+      data.rows_consumed != data.windows_consumed * step_rows()) {
+    return Status::InvalidArgument(
+        "StreamPipeline::Restore: inconsistent checkpoint progress counters");
+  }
+  CCS_RETURN_IF_ERROR(monitor_.RestoreHistoryBase(data.windows_committed));
+  CCS_RETURN_IF_ERROR(profile_.RestoreGram(data.gram_sum, data.gram_count));
+  if (data.has_profile) {
+    CCS_RETURN_IF_ERROR(monitor_.RefreshReference(data.profile));
+  }
+  windows_consumed_ = data.windows_consumed;
+  refreshes_total_ = data.refreshes;
+  resume_skip_rows_ = data.rows_consumed;
+  last_checkpoint_windows_ = data.windows_consumed;
+  return Status::OK();
+}
+
+void StreamPipeline::RecordQuarantine(QuarantineRecord record,
+                                      PipelineStats* stats) {
+  stats->rows_quarantined += record.rows_lost;
+  if (record.stage == "score") ++stats->windows_quarantined;
+  if (options_.on_quarantine) options_.on_quarantine(record);
+  stats->quarantine.push_back(std::move(record));
+}
+
 Status StreamPipeline::CommitBatch(
     std::vector<DataFrame> batch,
     const std::function<void(const WindowScore&)>& on_score,
     PipelineStats* stats) {
   obs::ObsSpan commit_span("stream.commit", "stream");
+
+  // ---- Phase A: the per-window supervision gate, in window order. Each
+  // window's consumed ordinal — and therefore the fault point's hit
+  // ordinal — depends only on its position in the stream, never on how
+  // the windows happened to batch up.
+  std::vector<DataFrame> survivors;
+  std::vector<size_t> survivor_ordinals;
+  std::vector<QuarantineRecord> pending_quarantine;
+  survivors.reserve(batch.size());
+  survivor_ordinals.reserve(batch.size());
+  // A fail-fast gate failure is deferred until the batch prefix before it
+  // has committed: a serial loop would have scored those windows before
+  // reaching the failing one, and batch boundaries are the one thing in
+  // this pipeline that is NOT deterministic — the termination trace must
+  // not depend on them.
+  Status gate_failure;
+  for (DataFrame& window : batch) {
+    ++windows_consumed_;
+    auto gate = [&]() -> Status {
+      CCS_FAULT_POINT("stream.score.window");
+      return Status::OK();
+    };
+    SuperviseResult supervised =
+        Supervise(options_.score_policy, gate, options_.stop);
+    stats->retries += supervised.retries;
+    if (supervised.action == SuperviseAction::kFail) {
+      gate_failure = std::move(supervised.status);
+      break;
+    }
+    if (supervised.action == SuperviseAction::kQuarantine) {
+      // Held back until the commit walk below: emitting it now would
+      // put it ahead of this batch's earlier windows, and where the
+      // batch boundary fell is the one nondeterministic thing here.
+      QuarantineRecord record;
+      record.stage = "score";
+      record.index = windows_consumed_;
+      record.rows_lost = window.num_rows();
+      record.reason = std::move(supervised.status);
+      pending_quarantine.push_back(std::move(record));
+      continue;
+    }
+    survivors.push_back(std::move(window));
+    survivor_ordinals.push_back(windows_consumed_);
+  }
+  if (survivors.empty()) {
+    for (QuarantineRecord& record : pending_quarantine) {
+      RecordQuarantine(std::move(record), stats);
+    }
+    return gate_failure;
+  }
+
+  // ---- Phase B: batch scoring. ObserveWindows is all-or-nothing, so
+  // under a quarantine policy a batch failure falls back to scoring each
+  // window alone — the same Score function, so the committed bits are
+  // identical — and quarantines only the windows that actually fail.
   std::vector<WindowScore> scores;
+  std::vector<size_t> committed;  // Indices into `survivors`.
   {
     obs::ObsSpan score_span("stream.score", "stream");
-    CCS_ASSIGN_OR_RETURN(scores,
-                         monitor_.ObserveWindows(batch, options_.num_threads));
+    StatusOr<std::vector<WindowScore>> batch_scores =
+        monitor_.ObserveWindows(survivors, options_.num_threads);
+    if (batch_scores.ok()) {
+      scores = std::move(*batch_scores);
+      committed.reserve(survivors.size());
+      for (size_t i = 0; i < survivors.size(); ++i) committed.push_back(i);
+    } else if (options_.score_policy.mode != FailureMode::kQuarantine) {
+      return std::move(batch_scores).status();
+    } else {
+      for (size_t i = 0; i < survivors.size(); ++i) {
+        StatusOr<WindowScore> score = monitor_.ObserveWindow(survivors[i]);
+        if (score.ok()) {
+          committed.push_back(i);
+          scores.push_back(*score);
+        } else {
+          QuarantineRecord record;
+          record.stage = "score";
+          record.index = survivor_ordinals[i];
+          record.rows_lost = survivors[i].num_rows();
+          record.reason = std::move(score).status();
+          pending_quarantine.push_back(std::move(record));
+        }
+      }
+    }
   }
-  for (const WindowScore& score : scores) {
+  // The commit walk: scores and quarantine records emitted merged in
+  // consumed-ordinal order, so the observable event sequence — not just
+  // the committed bits — is independent of where the batch boundaries
+  // fell. Both sources are ordinal-sorted except when the Phase B
+  // fallback appended behind gate records; one sort restores it.
+  std::sort(pending_quarantine.begin(), pending_quarantine.end(),
+            [](const QuarantineRecord& a, const QuarantineRecord& b) {
+              return a.index < b.index;
+            });
+  size_t next_pending = 0;
+  for (size_t i = 0; i < committed.size(); ++i) {
+    const size_t ordinal = survivor_ordinals[committed[i]];
+    while (next_pending < pending_quarantine.size() &&
+           pending_quarantine[next_pending].index < ordinal) {
+      RecordQuarantine(std::move(pending_quarantine[next_pending++]), stats);
+    }
+    const WindowScore& score = scores[i];
     ++stats->windows_scored;
     if (score.alarm) ++stats->alarms;
     if (on_score) on_score(score);
   }
-  if (options_.refresh_every == 0) return Status::OK();
-  // Fold the scored rows into the streaming Gram state in window order
-  // (deterministic: the fold order and the refresh index depend only on
-  // the stream, never on thread scheduling). With sliding windows the
-  // overlap is re-observed, weighting recent rows — acceptable for a
-  // drift profile and documented in docs/streaming.md.
-  for (const DataFrame& window : batch) {
-    CCS_RETURN_IF_ERROR(profile_.ObserveAll(window));
+  while (next_pending < pending_quarantine.size()) {
+    RecordQuarantine(std::move(pending_quarantine[next_pending++]), stats);
+  }
+  if (options_.refresh_every == 0) return gate_failure;
+
+  // ---- Phase C: fold the committed rows into the streaming Gram state
+  // in window order (deterministic: the fold order and the refresh index
+  // depend only on the stream, never on thread scheduling). With sliding
+  // windows the overlap is re-observed, weighting recent rows —
+  // acceptable for a drift profile and documented in docs/streaming.md.
+  for (size_t i : committed) {
+    CCS_RETURN_IF_ERROR(profile_.ObserveAll(survivors[i]));
   }
   // Cadence counts the monitor's whole history, not this Run's windows,
   // so a stream served in segments refreshes at the same absolute window
-  // indices as the same stream served in one Run.
-  if (monitor_.history_size() % options_.refresh_every == 0) {
+  // indices as the same stream served in one Run. Quarantined windows
+  // never advance the history, so the boundary slides to the next
+  // committed window. The committed.empty() guard keeps an all-quarantine
+  // batch from re-firing a boundary the previous batch already handled.
+  if (!committed.empty() &&
+      monitor_.history_size() % options_.refresh_every == 0) {
     obs::ObsSpan refresh_span("stream.refresh", "stream");
-    CCS_ASSIGN_OR_RETURN(core::SimpleConstraint refreshed,
-                         profile_.Synthesize());
-    CCS_RETURN_IF_ERROR(monitor_.RefreshReference(refreshed));
-    ++stats->refreshes;
-    if (options_.on_refresh) options_.on_refresh(monitor_.history_size());
+    auto attempt = [&]() -> Status {
+      CCS_FAULT_POINT("stream.refresh.synthesize");
+      CCS_ASSIGN_OR_RETURN(core::SimpleConstraint refreshed,
+                           profile_.Synthesize());
+      return monitor_.RefreshReference(refreshed);
+    };
+    SuperviseResult supervised =
+        Supervise(options_.score_policy, attempt, options_.stop);
+    stats->retries += supervised.retries;
+    if (supervised.action == SuperviseAction::kFail) {
+      return std::move(supervised.status);
+    }
+    if (supervised.action == SuperviseAction::kQuarantine) {
+      // The profile swap is deferred one full cadence period; scoring
+      // continues against the previous reference (a degraded, not
+      // broken, monitor).
+      QuarantineRecord record;
+      record.stage = "refresh";
+      record.index = monitor_.history_size();
+      record.rows_lost = 0;
+      record.reason = std::move(supervised.status);
+      RecordQuarantine(std::move(record), stats);
+    } else {
+      ++stats->refreshes;
+      ++refreshes_total_;
+      if (options_.on_refresh) options_.on_refresh(monitor_.history_size());
+    }
   }
-  return Status::OK();
+  return gate_failure;
 }
 
-StatusOr<PipelineStats> StreamPipeline::Run(
+PipelineRunResult StreamPipeline::Run(
     std::istream& in,
     const std::function<void(const WindowScore&)>& on_score,
     const dataframe::CsvOptions& csv_options) {
-  PipelineStats stats;
+  PipelineRunResult result;
+  PipelineStats& stats = result.stats;
   const uint64_t start_ns = obs::NowNanos();
   obs::ObsSpan run_span("stream.run", "stream");
+  const uint64_t faults_before = common::fault::Injector::Global().injected();
 
   obs::Registry& registry = obs::Registry::Global();
   BoundedQueue<DataFrame> chunk_queue(
@@ -124,6 +338,10 @@ StatusOr<PipelineStats> StreamPipeline::Run(
       options_.queue_capacity,
       {registry.GetHistogram("stream.window_queue.push_wait_us"),
        registry.GetHistogram("stream.window_queue.pop_wait_us")});
+
+  const size_t skip_rows = resume_skip_rows_;
+  resume_skip_rows_ = 0;
+  const std::atomic<bool>* stop = options_.stop;
 
   // ---- Stage 1: ingest. Parses schema-shaped chunks until EOF; each
   // Push blocks while the windowing stage is behind (backpressure).
@@ -137,24 +355,77 @@ StatusOr<PipelineStats> StreamPipeline::Run(
   std::thread ingest([&] {
     Status status;
     size_t rows_ingested = 0;
+    size_t retries = 0;
+    bool stopped = false;
+    std::vector<QuarantineRecord> quarantined;
     dataframe::CsvChunkReader reader(&in, schema_, csv_options);
-    for (;;) {
-      StatusOr<DataFrame> chunk = [&] {
-        obs::ObsSpan ingest_span("stream.ingest", "stream");
-        return reader.ReadChunk(options_.chunk_rows);
-      }();
-      if (!chunk.ok()) {
-        status = std::move(chunk).status();
+
+    // Resume skip: wind the reader past the rows the checkpointed run
+    // already consumed. Parses but never scores; malformed records in
+    // the consumed region were quarantined (and accounted) by the
+    // pre-crash process, so they are re-skipped silently. Each ReadChunk
+    // error has consumed its malformed record, so the loop always makes
+    // progress.
+    size_t to_skip = skip_rows;
+    while (to_skip > 0) {
+      StatusOr<DataFrame> chunk =
+          reader.ReadChunk(std::min(to_skip, options_.chunk_rows));
+      if (!chunk.ok()) continue;
+      if (chunk->num_rows() == 0) {
+        status = Status::FailedPrecondition(
+            "StreamPipeline: stream ended before the checkpoint's resume "
+            "offset — resuming against a different stream?");
         break;
       }
-      if (chunk->num_rows() == 0) break;  // End of stream.
-      rows_ingested += chunk->num_rows();
-      if (!chunk_queue.Push(std::move(*chunk))) break;  // Cancelled.
+      to_skip -= chunk->num_rows();
+    }
+
+    while (status.ok()) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        stopped = true;  // Graceful drain: treat as end of stream.
+        break;
+      }
+      DataFrame chunk;
+      auto attempt = [&]() -> Status {
+        CCS_FAULT_POINT("stream.ingest.read");
+        StatusOr<DataFrame> next = [&] {
+          obs::ObsSpan ingest_span("stream.ingest", "stream");
+          return reader.ReadChunk(options_.chunk_rows);
+        }();
+        if (!next.ok()) return std::move(next).status();
+        chunk = std::move(*next);
+        return Status::OK();
+      };
+      SuperviseResult supervised =
+          Supervise(options_.ingest_policy, attempt, stop);
+      retries += supervised.retries;
+      if (supervised.action == SuperviseAction::kFail) {
+        status = std::move(supervised.status);
+        break;
+      }
+      if (supervised.action == SuperviseAction::kQuarantine) {
+        QuarantineRecord record;
+        record.stage = "ingest";
+        record.index = reader.rows_read();
+        // A parse error means the reader consumed the malformed record;
+        // an injected fault fires before the read and consumes nothing.
+        record.rows_lost =
+            supervised.status.code() == StatusCode::kInvalidArgument ? 1 : 0;
+        record.reason = std::move(supervised.status);
+        quarantined.push_back(std::move(record));
+        continue;
+      }
+      if (chunk.num_rows() == 0) break;  // End of stream.
+      rows_ingested += chunk.num_rows();
+      if (!chunk_queue.Push(std::move(chunk))) break;  // Cancelled.
     }
     chunk_queue.Close();
     MutexLock lock(&ingest_result.mu);
     ingest_result.status = std::move(status);
     ingest_result.rows = rows_ingested;
+    ingest_result.retries = retries;
+    ingest_result.stopped = stopped;
+    ingest_result.quarantined = std::move(quarantined);
   });
 
   // ---- Stage 2: windowing. Reassembles chunks into windows; emits in
@@ -163,35 +434,61 @@ StatusOr<PipelineStats> StreamPipeline::Run(
   // ccs-lint: allow(thread-spawn): dedicated stage thread, joined below; pool tasks must not block on queues
   std::thread windowing([&] {
     Status status;
+    size_t retries = 0;
+    std::vector<QuarantineRecord> quarantined;
     StatusOr<Windower> windower =
         Windower::Create(options_.window_rows, options_.slide_rows);
     if (!windower.ok()) {
       status = windower.status();
     } else {
+      size_t chunk_ordinal = 0;
+      bool cancelled = false;
       while (std::optional<DataFrame> chunk = chunk_queue.Pop()) {
-        StatusOr<std::vector<DataFrame>> windows = [&] {
-          obs::ObsSpan window_span("stream.window", "stream");
-          return windower->Push(*chunk);
-        }();
-        if (!windows.ok()) {
-          status = std::move(windows).status();
+        ++chunk_ordinal;
+        std::vector<DataFrame> windows;
+        auto attempt = [&]() -> Status {
+          CCS_FAULT_POINT("stream.window.push");
+          StatusOr<std::vector<DataFrame>> produced = [&] {
+            obs::ObsSpan window_span("stream.window", "stream");
+            return windower->Push(*chunk);
+          }();
+          if (!produced.ok()) return std::move(produced).status();
+          windows = std::move(*produced);
+          return Status::OK();
+        };
+        SuperviseResult supervised =
+            Supervise(options_.window_policy, attempt, stop);
+        retries += supervised.retries;
+        if (supervised.action == SuperviseAction::kFail) {
+          status = std::move(supervised.status);
           break;
         }
-        for (DataFrame& w : *windows) {
+        if (supervised.action == SuperviseAction::kQuarantine) {
+          QuarantineRecord record;
+          record.stage = "window";
+          record.index = chunk_ordinal;
+          record.rows_lost = chunk->num_rows();
+          record.reason = std::move(supervised.status);
+          quarantined.push_back(std::move(record));
+          continue;
+        }
+        for (DataFrame& w : windows) {
           if (!window_queue.Push(std::move(w))) {
-            status = Status::OK();  // Cancelled downstream; not an error.
-            goto done;
+            cancelled = true;  // Cancelled downstream; not an error.
+            break;
           }
         }
+        if (cancelled) break;
       }
     }
-  done:
     // On error, also unblock the ingest stage (its Push would otherwise
     // wait forever on a full chunk queue).
     chunk_queue.Close();
     window_queue.Close();
     MutexLock lock(&window_result.mu);
     window_result.status = std::move(status);
+    window_result.retries = retries;
+    window_result.quarantined = std::move(quarantined);
     if (windower.ok()) {
       window_result.rows_copied = windower->rows_copied_out();
       window_result.buffer_reallocs = windower->buffer_reallocs();
@@ -204,6 +501,7 @@ StatusOr<PipelineStats> StreamPipeline::Run(
   // batch limit and at the next refresh boundary, then scores the batch
   // over the pool and commits in arrival order.
   Status commit_status;
+  const bool checkpointing = !options_.checkpoint_path.empty();
   while (std::optional<DataFrame> first = window_queue.Pop()) {
     std::vector<DataFrame> batch;
     batch.push_back(std::move(*first));
@@ -222,6 +520,16 @@ StatusOr<PipelineStats> StreamPipeline::Run(
       batch.push_back(std::move(*next));
     }
     commit_status = CommitBatch(std::move(batch), on_score, &stats);
+    if (commit_status.ok() && checkpointing && options_.checkpoint_every > 0 &&
+        windows_consumed_ - last_checkpoint_windows_ >=
+            options_.checkpoint_every) {
+      commit_status =
+          WriteCheckpointFile(Snapshot(), options_.checkpoint_path);
+      if (commit_status.ok()) {
+        last_checkpoint_windows_ = windows_consumed_;
+        ++stats.checkpoints_written;
+      }
+    }
     if (!commit_status.ok()) {
       // Cancel upstream: producers' blocked Push calls return false.
       chunk_queue.Close();
@@ -233,22 +541,61 @@ StatusOr<PipelineStats> StreamPipeline::Run(
   ingest.join();
   windowing.join();
 
+  // Fold the stage outcomes into the stats FIRST, so a failing run still
+  // reports everything it did (the whole point of PipelineRunResult).
+  Status ingest_status;
+  Status window_status;
   {
     MutexLock lock(&ingest_result.mu);
-    CCS_RETURN_IF_ERROR(ingest_result.status);
+    ingest_status = std::move(ingest_result.status);
     stats.rows_ingested = ingest_result.rows;
+    stats.retries += ingest_result.retries;
+    // Stopped if ingest saw the flag — or if it was raised while ingest
+    // was blocked on a read the stream then ended out from under (the
+    // stop still happened before the run finished, and the caller's
+    // exit code should say so).
+    stats.stopped = ingest_result.stopped ||
+                    (stop != nullptr && stop->load(std::memory_order_relaxed));
+    for (QuarantineRecord& record : ingest_result.quarantined) {
+      stats.rows_quarantined += record.rows_lost;
+      stats.quarantine.push_back(std::move(record));
+    }
   }
   {
     MutexLock lock(&window_result.mu);
-    CCS_RETURN_IF_ERROR(window_result.status);
+    window_status = std::move(window_result.status);
+    stats.retries += window_result.retries;
+    for (QuarantineRecord& record : window_result.quarantined) {
+      stats.rows_quarantined += record.rows_lost;
+      stats.quarantine.push_back(std::move(record));
+    }
     stats.window_rows_copied = window_result.rows_copied;
     stats.window_buffer_reallocs = window_result.buffer_reallocs;
     stats.window_buffer_capacity_rows = window_result.buffer_capacity;
   }
-  CCS_RETURN_IF_ERROR(commit_status);
+  if (!ingest_status.ok()) {
+    result.status = std::move(ingest_status);
+  } else if (!window_status.ok()) {
+    result.status = std::move(window_status);
+  } else {
+    result.status = std::move(commit_status);
+  }
+
+  // The final checkpoint marks a cleanly ended (or gracefully stopped)
+  // run; after an error the last periodic checkpoint stands, exactly as
+  // after a crash.
+  if (result.status.ok() && checkpointing) {
+    result.status = WriteCheckpointFile(Snapshot(), options_.checkpoint_path);
+    if (result.status.ok()) {
+      last_checkpoint_windows_ = windows_consumed_;
+      ++stats.checkpoints_written;
+    }
+  }
 
   stats.chunk_queue_peak = chunk_queue.peak_depth();
   stats.window_queue_peak = window_queue.peak_depth();
+  stats.faults_injected = static_cast<size_t>(
+      common::fault::Injector::Global().injected() - faults_before);
   stats.elapsed_seconds =
       static_cast<double>(obs::NowNanos() - start_ns) * 1e-9;
   // SafeRate reports 0 (never inf/nan) on tiny or empty streams where
@@ -258,10 +605,17 @@ StatusOr<PipelineStats> StreamPipeline::Run(
 
   // Mirror the returned stats into the process-wide registry from the
   // very same values, so `--stats` and `--metrics-json` cannot disagree.
+  // Mirrored even on error: the counters describe work actually done.
   registry.GetCounter("stream.rows_ingested")->Add(stats.rows_ingested);
   registry.GetCounter("stream.windows_scored")->Add(stats.windows_scored);
   registry.GetCounter("stream.alarms")->Add(stats.alarms);
   registry.GetCounter("stream.refreshes")->Add(stats.refreshes);
+  registry.GetCounter("stream.rows_quarantined")->Add(stats.rows_quarantined);
+  registry.GetCounter("stream.degraded_windows")
+      ->Add(stats.windows_quarantined);
+  registry.GetCounter("stream.retries")->Add(stats.retries);
+  registry.GetCounter("stream.faults_injected")->Add(stats.faults_injected);
+  registry.GetCounter("stream.checkpoints")->Add(stats.checkpoints_written);
   registry.GetCounter("stream.window.rows_copied")
       ->Add(stats.window_rows_copied);
   registry.GetCounter("stream.window.buffer_reallocs")
@@ -272,7 +626,7 @@ StatusOr<PipelineStats> StreamPipeline::Run(
       ->UpdateMax(static_cast<int64_t>(stats.window_queue_peak));
   registry.GetGauge("stream.window.buffer_capacity_rows")
       ->UpdateMax(static_cast<int64_t>(stats.window_buffer_capacity_rows));
-  return stats;
+  return result;
 }
 
 }  // namespace ccs::stream

@@ -15,6 +15,14 @@
 //                       rows into an IncrementalSynthesizer and swaps the
 //                       reference profile (§4.3.2 streaming Gram sum).
 //
+// Each stage runs under a FailurePolicy (stream/supervisor.h): fail-fast
+// (the default, and the only pre-robustness behavior), bounded retry of
+// transient failures, or quarantine-and-continue — failed units are
+// recorded in PipelineStats::quarantine with structured reasons instead
+// of killing the run. CCS_FAULT_POINT sites (common/fault.h) in every
+// stage loop let tests and the scenario gauntlet inject deterministic
+// failures through exactly these paths.
+//
 // Determinism: window contents depend only on the row stream (Windower),
 // per-window scores are pure functions of (profile, window), batches
 // never span a refresh boundary, and refreshes happen at fixed window
@@ -22,12 +30,19 @@
 // WindowScore history is bitwise identical to a serial ObserveWindow
 // loop with the same refresh cadence, at any thread count (see
 // docs/streaming.md and the equivalence test in tests/stream_test.cc).
+// Supervision preserves this: each stage's quarantine decisions depend
+// only on its own deterministic unit ordinals, and checkpoint-resume
+// (stream/checkpoint.h, docs/robustness.md) extends the contract to
+// recovery — a resumed run's alarm trace is bitwise identical to the
+// uninterrupted run from the checkpoint boundary on.
 
 #ifndef CCS_STREAM_PIPELINE_H_
 #define CCS_STREAM_PIPELINE_H_
 
+#include <atomic>
 #include <functional>
 #include <istream>
+#include <string>
 #include <vector>
 
 #include "common/statusor.h"
@@ -35,6 +50,8 @@
 #include "core/synthesizer.h"
 #include "dataframe/csv.h"
 #include "dataframe/dataframe.h"
+#include "stream/checkpoint.h"
+#include "stream/supervisor.h"
 #include "stream/windower.h"
 
 namespace ccs::stream {
@@ -69,6 +86,44 @@ struct StreamPipelineOptions {
   /// callback sequence is deterministic at any thread count — the
   /// scenario gauntlet records it in alarm traces.
   std::function<void(size_t windows_scored)> on_refresh;
+
+  // ---- Robustness (docs/robustness.md). All default to the strict
+  // pre-robustness behavior: fail fast, no checkpoints, run to EOF.
+
+  /// Failure policy for the ingest stage. Quarantine absorbs malformed
+  /// records (the CsvChunkReader has already consumed them, so exactly
+  /// one data row is lost per quarantined parse error).
+  FailurePolicy ingest_policy;
+  /// Failure policy for the windowing stage. Quarantine drops the whole
+  /// failed chunk — incompatible with checkpointing (a dropped chunk
+  /// breaks the rows-per-window equation resume depends on; Create
+  /// rejects the combination).
+  FailurePolicy window_policy;
+  /// Failure policy for scoring, reference refresh, and the per-window
+  /// fault gate on the commit thread. Quarantined windows are consumed
+  /// from the stream but never scored (the history skips them);
+  /// a quarantined refresh defers the profile swap one full cadence
+  /// period.
+  FailurePolicy score_policy;
+  /// Invoked on the calling thread, in deterministic commit order, for
+  /// every quarantined unit of the commit-thread stages ("score" and
+  /// "refresh" records only: ingest/window quarantines happen on their
+  /// own threads, interleave nondeterministically with commits, and are
+  /// therefore only collected into PipelineStats::quarantine).
+  std::function<void(const QuarantineRecord&)> on_quarantine;
+
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Write a checkpoint after every this many consumed windows. 0 with a
+  /// checkpoint_path writes only the final checkpoint at end of run.
+  size_t checkpoint_every = 0;
+
+  /// Graceful-shutdown flag (not owned; may be null). When it becomes
+  /// true, ingest treats the stream as ended: buffered chunks are still
+  /// windowed, completed windows are still scored and committed, the
+  /// final checkpoint is still written — the run drains rather than
+  /// aborts, and PipelineStats::stopped records that it was cut short.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Counters describing one Run (all zero on a stream with no windows).
@@ -91,6 +146,45 @@ struct PipelineStats {
   double elapsed_seconds = 0.0;
   /// rows_ingested / elapsed_seconds.
   double rows_per_second = 0.0;
+
+  // ---- Robustness counters (mirrored into obs::Registry as
+  // stream.rows_quarantined / stream.degraded_windows / stream.retries /
+  // stream.faults_injected).
+
+  /// Data rows lost across all quarantined units (sum of
+  /// QuarantineRecord::rows_lost).
+  size_t rows_quarantined = 0;
+  /// Windows consumed from the stream but never scored ("score"-stage
+  /// quarantines).
+  size_t windows_quarantined = 0;
+  /// Retry attempts consumed across all supervised stages.
+  size_t retries = 0;
+  /// Faults the armed Injector fired during this Run.
+  size_t faults_injected = 0;
+  /// Checkpoints written during this Run (periodic + final).
+  size_t checkpoints_written = 0;
+  /// True when the run ended because the stop flag was raised rather
+  /// than at end of stream.
+  bool stopped = false;
+  /// Every quarantined unit, with structured reasons: commit-thread
+  /// records ("score"/"refresh") in commit order first, then ingest
+  /// records, then windowing records (each stage's records are in its
+  /// own deterministic order).
+  std::vector<QuarantineRecord> quarantine;
+};
+
+/// What Run returns: the terminal status AND the stats collected up to
+/// that point. Pre-robustness Run returned StatusOr<PipelineStats>,
+/// which silently dropped every counter on a failing stream — exactly
+/// when the operator most needs to know how far it got.
+struct PipelineRunResult {
+  Status status;
+  PipelineStats stats;
+
+  bool ok() const { return status.ok(); }
+  /// The stats are meaningful whether or not the run succeeded.
+  PipelineStats* operator->() { return &stats; }
+  const PipelineStats* operator->() const { return &stats; }
 };
 
 /// Pipelined, backpressured serving loop over a streamed CSV.
@@ -101,14 +195,15 @@ class StreamPipeline {
   static StatusOr<StreamPipeline> Create(const dataframe::DataFrame& reference,
                                          StreamPipelineOptions options);
 
-  /// Runs ingest -> windowing -> scoring over `in` until end of stream
-  /// or first error (a failing stage cancels the others). `on_score`,
-  /// when set, is invoked on the calling thread once per window in
-  /// commit order. Run may be called again to continue the monitor,
-  /// profile, and refresh cadence (which counts the whole history) over
-  /// another stream segment; windowing state does not carry across
-  /// calls.
-  StatusOr<PipelineStats> Run(
+  /// Runs ingest -> windowing -> scoring over `in` until end of stream,
+  /// graceful stop, or first unabsorbed error (a failing stage cancels
+  /// the others; stats collected so far are returned either way).
+  /// `on_score`, when set, is invoked on the calling thread once per
+  /// window in commit order. Run may be called again to continue the
+  /// monitor, profile, and refresh cadence (which counts the whole
+  /// history) over another stream segment; windowing state does not
+  /// carry across calls.
+  PipelineRunResult Run(
       std::istream& in,
       const std::function<void(const core::WindowScore&)>& on_score = nullptr,
       const dataframe::CsvOptions& csv_options = dataframe::CsvOptions());
@@ -122,6 +217,26 @@ class StreamPipeline {
     return monitor_.history();
   }
 
+  /// The pipeline's current state as a checkpoint (call between Runs or
+  /// before the first; Run itself snapshots internally at the cadence).
+  CheckpointData Snapshot() const;
+
+  /// Adopts a checkpoint: rebases the score history, restores the
+  /// streaming Gram state and (when present) the refreshed reference
+  /// profile, and arms the next Run to skip the already-consumed rows.
+  /// Must be called before the first Run; InvalidArgument when the
+  /// checkpoint's geometry guards do not match this pipeline's options,
+  /// FailedPrecondition once any window has been committed.
+  Status Restore(const CheckpointData& data);
+
+  /// Window step per emitted window: slide_rows, or window_rows when
+  /// tumbling. rows_consumed = windows_consumed * step is the resume
+  /// offset equation (stream/checkpoint.h).
+  size_t step_rows() const {
+    return options_.slide_rows == 0 ? options_.window_rows
+                                    : options_.slide_rows;
+  }
+
  private:
   StreamPipeline(core::StreamMonitor monitor,
                  core::IncrementalSynthesizer profile,
@@ -131,16 +246,34 @@ class StreamPipeline {
         schema_(std::move(schema)),
         options_(options) {}
 
-  // Scores `batch` (never spanning a refresh boundary), commits in
-  // order, feeds the profile, and refreshes it at the cadence boundary.
+  // Scores `batch` (never spanning a refresh boundary) under the score
+  // policy, commits survivors in order, feeds the profile, and refreshes
+  // it at the cadence boundary.
   Status CommitBatch(std::vector<dataframe::DataFrame> batch,
                      const std::function<void(const core::WindowScore&)>& on_score,
                      PipelineStats* stats);
+
+  // Appends a commit-thread quarantine record: counts it, streams it to
+  // on_quarantine, and stores it in `stats`.
+  void RecordQuarantine(QuarantineRecord record, PipelineStats* stats);
 
   core::StreamMonitor monitor_;
   core::IncrementalSynthesizer profile_;
   dataframe::Schema schema_;
   StreamPipelineOptions options_;
+  // Windows taken from the window stream across Runs: committed plus
+  // score-quarantined. Together with step_rows() this fixes the resume
+  // row offset; committed alone (the monitor's history size) does not,
+  // because quarantined windows consume rows without advancing history.
+  size_t windows_consumed_ = 0;
+  // Reference refreshes across Runs (PipelineStats::refreshes is
+  // per-Run; the checkpoint needs the cumulative count).
+  size_t refreshes_total_ = 0;
+  // Good data rows the next Run must skip before live ingestion — set by
+  // Restore, consumed by the next Run.
+  size_t resume_skip_rows_ = 0;
+  // Consumed-window count at the last checkpoint write (cadence base).
+  size_t last_checkpoint_windows_ = 0;
 };
 
 }  // namespace ccs::stream

@@ -1,0 +1,88 @@
+#include "stream/supervisor.h"
+
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace ccs::stream {
+
+StatusOr<FailurePolicy> FailurePolicy::Parse(const std::string& text) {
+  FailurePolicy policy;
+  if (text.empty() || text == "fail-fast") return policy;
+  if (text == "quarantine") {
+    policy.mode = FailureMode::kQuarantine;
+    return policy;
+  }
+  if (StartsWith(text, "retry:")) {
+    std::string rest = text.substr(6);
+    std::string count = rest;
+    const std::string suffix = "+quarantine";
+    if (rest.size() > suffix.size() &&
+        rest.compare(rest.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      policy.mode = FailureMode::kQuarantine;
+      count = rest.substr(0, rest.size() - suffix.size());
+    }
+    std::optional<int64_t> n = ParseInt(count);
+    if (n.has_value() && *n >= 1) {
+      policy.max_retries = static_cast<size_t>(*n);
+      return policy;
+    }
+  }
+  return Status::InvalidArgument(
+      "failure policy '" + text +
+      "': expected fail-fast | quarantine | retry:N | retry:N+quarantine");
+}
+
+std::string FailurePolicy::ToString() const {
+  if (max_retries == 0) {
+    return mode == FailureMode::kQuarantine ? "quarantine" : "fail-fast";
+  }
+  std::string out = "retry:" + std::to_string(max_retries);
+  if (mode == FailureMode::kQuarantine) out += "+quarantine";
+  return out;
+}
+
+namespace {
+
+// Sleeps base_ms * 2^attempt in 1ms slices, bailing as soon as `cancel`
+// is raised. The slice loop reads no clock (sleep_for takes a duration,
+// not a deadline), keeping the wall-clock lint rule honest: timing here
+// can stretch, never observe.
+void Backoff(uint64_t base_ms, size_t attempt, const std::atomic<bool>* cancel) {
+  if (base_ms == 0) return;
+  uint64_t total_ms = base_ms << (attempt < 20 ? attempt : 20);
+  for (uint64_t slept = 0; slept < total_ms; ++slept) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+SuperviseResult Supervise(const FailurePolicy& policy,
+                          const std::function<Status()>& attempt,
+                          const std::atomic<bool>* cancel) {
+  SuperviseResult result;
+  Status status = attempt();
+  while (!status.ok() && status.code() == StatusCode::kUnavailable &&
+         result.retries < policy.max_retries) {
+    Backoff(policy.backoff_ms, result.retries, cancel);
+    ++result.retries;
+    status = attempt();
+  }
+  if (status.ok()) {
+    result.action = SuperviseAction::kProceed;
+    return result;
+  }
+  result.status = std::move(status);
+  result.action = policy.mode == FailureMode::kQuarantine
+                      ? SuperviseAction::kQuarantine
+                      : SuperviseAction::kFail;
+  return result;
+}
+
+}  // namespace ccs::stream

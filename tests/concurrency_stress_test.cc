@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -20,12 +21,14 @@
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "core/monitor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stream/checkpoint.h"
 #include "stream/pipeline.h"
 
 namespace ccs {
@@ -252,7 +255,7 @@ TEST(PipelineStressTest, ConcurrentHistoryReadersDuringRun) {
   auto stats = pipeline->Run(in);
   done.store(true);
   for (auto& t : readers) t.join();
-  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(stats.ok()) << stats.status.ToString();
   EXPECT_EQ(stats->windows_scored, 4000u / 32u);
   EXPECT_GT(reads.load(), 0u);
 }
@@ -303,7 +306,7 @@ TEST(PipelineStressTest, TinyQueuesManyThreadsStayDeterministic) {
     CCS_CHECK(pipeline.ok()) << pipeline.status().ToString();
     std::istringstream in(csv);
     auto stats = pipeline->Run(in);
-    CCS_CHECK(stats.ok()) << stats.status().ToString();
+    CCS_CHECK(stats.ok()) << stats.status.ToString();
     return pipeline->history();
   };
 
@@ -315,6 +318,109 @@ TEST(PipelineStressTest, TinyQueuesManyThreadsStayDeterministic) {
     EXPECT_EQ(contended[i].drift, roomy[i].drift) << "window " << i;
     EXPECT_EQ(contended[i].alarm, roomy[i].alarm);
   }
+}
+
+TEST(PipelineStressTest, StopWhileRetrying) {
+  // The graceful-stop flag is raised from another thread while the
+  // scoring stage is inside supervised retry/quarantine cycles driven
+  // by an armed probability fault — the shutdown edge has to compose
+  // with the supervisor's retry loop, not just with happy-path scoring.
+  // Loose assertions: every round terminates and the counters cohere.
+  DataFrame reference = ReferenceFrame(200, /*seed=*/41);
+  std::string csv = TrendCsv(3000, /*seed=*/42);
+  for (int round = 0; round < 6; ++round) {
+    common::fault::FaultSpec spec;
+    spec.seed = static_cast<uint64_t>(round);
+    common::fault::FaultPoint p;
+    p.point = "stream.score.window";
+    p.trigger = "probability";
+    p.probability = 0.4;
+    spec.points.push_back(p);
+    ASSERT_TRUE(common::fault::Injector::Global().Arm(spec).ok());
+
+    stream::StreamPipelineOptions options;
+    options.window_rows = 20;
+    options.chunk_rows = 16;
+    options.queue_capacity = 1;
+    options.num_threads = 2;
+    auto policy = stream::FailurePolicy::Parse("retry:2+quarantine");
+    ASSERT_TRUE(policy.ok());
+    options.score_policy = *policy;
+    std::atomic<bool> stop{false};
+    options.stop = &stop;
+    auto pipeline = stream::StreamPipeline::Create(reference, options);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+    std::thread stopper([&, round] {
+      for (volatile int s = 0; s < 3000 * (round + 1); ++s) {
+      }
+      stop.store(true);
+    });
+    std::istringstream in(csv);
+    auto result = pipeline->Run(in);
+    stopper.join();
+    common::fault::Injector::Global().Disarm();
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+    // Quarantined + committed windows account for everything consumed.
+    EXPECT_EQ(result->windows_scored, pipeline->history().size());
+    EXPECT_GE(result->retries, result->windows_quarantined);
+  }
+}
+
+TEST(PipelineStressTest, CheckpointEveryWindowWithConcurrentReaders) {
+  // Checkpoint at every consumed window while reader threads poll the
+  // checkpoint file and the score history: the atomic tmp+rename write
+  // must never expose a torn file (every read parses or is NotFound),
+  // and progress in the file only moves forward.
+  DataFrame reference = ReferenceFrame(200, /*seed=*/51);
+  const std::string path =
+      ::testing::TempDir() + "/ccs_stress_checkpoint.ck";
+  std::remove(path.c_str());
+
+  stream::StreamPipelineOptions options;
+  options.window_rows = 25;
+  options.chunk_rows = 10;
+  options.queue_capacity = 2;
+  options.num_threads = 2;
+  options.refresh_every = 3;
+  options.checkpoint_path = path;
+  options.checkpoint_every = 1;
+  auto pipeline = stream::StreamPipeline::Create(reference, options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      size_t last_windows = 0;
+      while (!done.load()) {
+        auto data = stream::ReadCheckpointFile(path);
+        if (!data.ok()) {
+          ASSERT_EQ(data.status().code(), StatusCode::kNotFound)
+              << data.status().ToString();
+          continue;
+        }
+        ASSERT_GE(data->windows_committed, last_windows);
+        last_windows = data->windows_committed;
+        ASSERT_EQ(data->rows_consumed, data->windows_consumed * 25);
+      }
+    });
+  }
+
+  std::istringstream in(TrendCsv(2500, /*seed=*/52));
+  auto result = pipeline->Run(in);
+  done.store(true);
+  for (auto& t : readers) t.join();
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result->windows_scored, 100u);
+  // The cadence is checked at batch-commit boundaries, so the write
+  // count tracks batches (nondeterministic), not windows.
+  EXPECT_GT(result->checkpoints_written, 0u);
+  EXPECT_LE(result->checkpoints_written, 100u);
+  auto final_data = stream::ReadCheckpointFile(path);
+  ASSERT_TRUE(final_data.ok()) << final_data.status();
+  EXPECT_EQ(final_data->windows_committed, 100u);
+  std::remove(path.c_str());
 }
 
 // -------------------------------------------------------- observability

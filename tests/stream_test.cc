@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "core/monitor.h"
@@ -760,7 +761,7 @@ TEST_F(StreamPipelineTest, MatchesSerialLoopBitwise) {
     std::istringstream in(csv_text);
     size_t callbacks = 0;
     auto stats = pipeline->Run(in, [&](const WindowScore&) { ++callbacks; });
-    ASSERT_TRUE(stats.ok()) << stats.status();
+    ASSERT_TRUE(stats.ok()) << stats.status;
     EXPECT_EQ(stats->rows_ingested, 730u);
     EXPECT_EQ(stats->windows_scored, serial.size());
     EXPECT_EQ(callbacks, serial.size());
@@ -790,7 +791,7 @@ TEST_F(StreamPipelineTest, MatchesSerialLoopWithSlideAndRefresh) {
     ASSERT_TRUE(pipeline.ok());
     std::istringstream in(csv_text);
     auto stats = pipeline->Run(in);
-    ASSERT_TRUE(stats.ok()) << stats.status();
+    ASSERT_TRUE(stats.ok()) << stats.status;
     EXPECT_GT(stats->refreshes, 0u);
     ExpectHistoriesBitwiseEqual(pipeline->history(), serial);
   }
@@ -851,7 +852,7 @@ TEST(StreamPipelineStatsTest, EmptyStreamReportsZeroRate) {
   ASSERT_TRUE(pipeline.ok());
   std::istringstream in("x,y\n");  // Header only: zero rows.
   auto stats = pipeline->Run(in);
-  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_TRUE(stats.ok()) << stats.status;
   EXPECT_EQ(stats->rows_ingested, 0u);
   EXPECT_EQ(stats->rows_per_second, 0.0);
   EXPECT_TRUE(std::isfinite(stats->rows_per_second));
@@ -932,8 +933,8 @@ TEST_F(StreamPipelineTest, TearsDownCleanlyOnMidStreamMalformation) {
       std::istringstream in(bad.str());
       auto stats = pipeline->Run(in);
       ASSERT_FALSE(stats.ok());
-      EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
-      const std::string& msg = stats.status().message();
+      EXPECT_EQ(stats.status.code(), StatusCode::kInvalidArgument);
+      const std::string& msg = stats.status.message();
       EXPECT_NE(msg.find("line 32"), std::string::npos) << msg;
       EXPECT_NE(msg.find("data row 31"), std::string::npos) << msg;
       EXPECT_NE(msg.find("has 1 fields, expected 2"), std::string::npos)
@@ -942,6 +943,130 @@ TEST_F(StreamPipelineTest, TearsDownCleanlyOnMidStreamMalformation) {
           << "chunk_rows=" << chunk_rows << " threads=" << threads;
     }
   }
+}
+
+TEST_F(StreamPipelineTest, ErrorResultCarriesPartialStats) {
+  // Pre-robustness Run returned StatusOr<PipelineStats>: a mid-stream
+  // failure dropped every counter. PipelineRunResult keeps them — the
+  // operator learns how far the run got alongside why it died.
+  DataFrame reference = TrendFrame(100, 0.0, 16);
+  std::ostringstream bad;
+  bad << "x,y\n";
+  for (int i = 0; i < 30; ++i) bad << i << "," << i << "\n";
+  bad << "7\n";
+
+  StreamPipelineOptions options;
+  options.window_rows = 10;
+  options.alarm_threshold = 0.9;
+  options.chunk_rows = 10;
+  auto pipeline = StreamPipeline::Create(reference, options);
+  ASSERT_TRUE(pipeline.ok());
+  std::istringstream in(bad.str());
+  auto result = pipeline->Run(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  // Three full 10-row chunks parsed before the ragged one.
+  EXPECT_EQ(result->rows_ingested, 30u);
+  EXPECT_EQ(result->windows_scored, 3u);
+}
+
+TEST_F(StreamPipelineTest, IngestQuarantineAbsorbsMalformedRow) {
+  // Under ingest_policy=quarantine a ragged row costs exactly that row:
+  // the surviving rows window and score as if the stream had never
+  // contained it, so the history is bitwise identical to the clean
+  // stream's — at any chunking and thread count.
+  DataFrame reference = TrendFrame(100, 0.0, 18);
+  DataFrame clean = TrendFrame(40, 0.0, 19);
+  std::string clean_csv = ToCsv(clean);
+  // Splice a ragged row after data row 25 of the same stream.
+  std::string dirty_csv;
+  {
+    size_t pos = clean_csv.find('\n') + 1;  // Past the header.
+    for (int i = 0; i < 25; ++i) pos = clean_csv.find('\n', pos) + 1;
+    dirty_csv = clean_csv.substr(0, pos) + "7\n" + clean_csv.substr(pos);
+  }
+
+  StreamPipelineOptions options;
+  options.window_rows = 10;
+  options.alarm_threshold = 0.9;
+  options.ingest_policy.mode = FailureMode::kQuarantine;
+
+  std::vector<WindowScore> clean_history;
+  {
+    auto pipeline = StreamPipeline::Create(reference, options);
+    ASSERT_TRUE(pipeline.ok());
+    std::istringstream in(clean_csv);
+    ASSERT_TRUE(pipeline->Run(in).ok());
+    clean_history = pipeline->history();
+    ASSERT_EQ(clean_history.size(), 4u);
+  }
+
+  for (size_t chunk_rows : {4u, 10u, 64u}) {
+    for (size_t threads : {1u, 4u}) {
+      options.chunk_rows = chunk_rows;
+      options.num_threads = threads;
+      auto pipeline = StreamPipeline::Create(reference, options);
+      ASSERT_TRUE(pipeline.ok());
+      std::istringstream in(dirty_csv);
+      auto result = pipeline->Run(in);
+      ASSERT_TRUE(result.ok()) << result.status;
+      EXPECT_EQ(result->rows_ingested, 40u);
+      EXPECT_EQ(result->rows_quarantined, 1u);
+      ASSERT_EQ(result->quarantine.size(), 1u);
+      EXPECT_EQ(result->quarantine[0].stage, "ingest");
+      EXPECT_EQ(result->quarantine[0].rows_lost, 1u);
+      EXPECT_EQ(result->quarantine[0].reason.code(),
+                StatusCode::kInvalidArgument);
+      ExpectHistoriesBitwiseEqual(pipeline->history(), clean_history);
+    }
+  }
+}
+
+TEST_F(StreamPipelineTest, RetryPolicyMasksTransientFaults) {
+  // score_policy=retry:2 with a periodic transient fault: every retry
+  // re-checks the fault point at the next hit ordinal, so each injected
+  // kUnavailable is absorbed on the first retry and the committed
+  // history is bitwise identical to the fault-free run.
+  DataFrame reference = TrendFrame(200, 0.0, 20);
+  std::string csv_text = ToCsv(TrendFrame(400, 0.0, 21));
+
+  StreamPipelineOptions options;
+  options.window_rows = 40;
+  options.alarm_threshold = 0.9;
+  options.chunk_rows = 23;
+  auto parsed = FailurePolicy::Parse("retry:2");
+  ASSERT_TRUE(parsed.ok());
+  options.score_policy = *parsed;
+
+  std::vector<WindowScore> fault_free;
+  {
+    auto pipeline = StreamPipeline::Create(reference, options);
+    ASSERT_TRUE(pipeline.ok());
+    std::istringstream in(csv_text);
+    ASSERT_TRUE(pipeline->Run(in).ok());
+    fault_free = pipeline->history();
+    ASSERT_EQ(fault_free.size(), 10u);
+  }
+
+  common::fault::FaultSpec spec;
+  spec.seed = 5;
+  common::fault::FaultPoint p;
+  p.point = "stream.score.window";
+  p.trigger = "every";
+  p.every = 4;
+  spec.points.push_back(p);
+  ASSERT_TRUE(common::fault::Injector::Global().Arm(spec).ok());
+  auto pipeline = StreamPipeline::Create(reference, options);
+  ASSERT_TRUE(pipeline.ok());
+  std::istringstream in(csv_text);
+  auto result = pipeline->Run(in);
+  common::fault::Injector::Global().Disarm();
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_GT(result->faults_injected, 0u);
+  EXPECT_EQ(result->retries, result->faults_injected);
+  EXPECT_EQ(result->windows_quarantined, 0u);
+  EXPECT_EQ(result->rows_quarantined, 0u);
+  ExpectHistoriesBitwiseEqual(pipeline->history(), fault_free);
 }
 
 TEST_F(StreamPipelineTest, RejectsBadOptions) {

@@ -40,6 +40,13 @@ Rules
                    Clocks are observability-only: obs::NowNanos() is the
                    sanctioned entry point, and nothing a kernel computes
                    may depend on time (docs/observability.md).
+  fault-point      a CCS_FAULT_POINT whose name is not an inline string
+                   literal, duplicates another site's name (in the same
+                   file or anywhere in the tree — hit ordinals identify
+                   exactly one site; see common/fault.h), or lives
+                   outside src/ (fault points belong in production
+                   stage code, not tests or tools). Cross-file
+                   duplicates cannot be allowed — rename the point.
   bad-allow        an allow comment with no reason, or naming an
                    unknown rule.
   unused-allow     an allow comment that suppressed nothing — stale
@@ -75,6 +82,7 @@ RULES = (
     "rng-parallel",
     "guarded-by",
     "wall-clock",
+    "fault-point",
     "bad-allow",
     "unused-allow",
 )
@@ -87,6 +95,8 @@ GUARDED_BY_EXEMPT_FILES = ("src/common/mutex.h",)
 # Rng's own definition, and the pool that Rng must stay away from.
 RNG_PARALLEL_EXEMPT_FILES = ("src/common/random.h", "src/common/random.cc",
                              "src/common/parallel.h", "src/common/parallel.cc")
+# The macro's own definition (its parameter is, of course, not a literal).
+FAULT_POINT_EXEMPT_FILES = ("src/common/fault.h",)
 
 ALLOW_RE = re.compile(
     r"//\s*ccs-lint:\s*(allow|allow-file)\(([\w-]+)\)(?::\s*(\S.*))?")
@@ -116,6 +126,8 @@ MEMBER_SKIP_RE = re.compile(
     r"^\s*(?:public:|private:|protected:|friend\s|using\s|typedef\s|"
     r"static_assert\b|template\s*<)")
 SIGNATURE_RE = re.compile(r"^\s*[A-Za-z_][\w:<>,*&\s]*\b\w+\s*\(")
+FAULT_POINT_CALL_RE = re.compile(r"\bCCS_FAULT_POINT\s*\(")
+FAULT_POINT_LITERAL_RE = re.compile(r'\bCCS_FAULT_POINT\s*\(\s*"([^"]+)"\s*\)')
 
 
 class Allow:
@@ -208,6 +220,9 @@ class FileLinter:
         self.code = strip_comments_and_strings(raw_lines)
         self.findings = []
         self.allows = []
+        # (line, name) of every well-formed fault point, for the
+        # cross-file uniqueness check in main().
+        self.fault_points = []
         self.file_allows = {}  # rule -> Allow
         self.line_allows = {}  # (rule, target line) -> Allow
         self._collect_allows()
@@ -275,8 +290,39 @@ class FileLinter:
     def run(self):
         self._lint_tokens()
         self._lint_structure()
+        self._lint_fault_points()
         self._flag_unused_allows()
         return self.findings
+
+    def _lint_fault_points(self):
+        if self.logical.endswith(FAULT_POINT_EXEMPT_FILES):
+            return
+        seen = {}  # name -> first line in this file.
+        for idx, line in enumerate(self.code, start=1):
+            if not FAULT_POINT_CALL_RE.search(line):
+                continue
+            m = FAULT_POINT_LITERAL_RE.search(self.raw[idx - 1])
+            if not m:
+                self._report(idx, "fault-point",
+                             "CCS_FAULT_POINT name must be an inline string "
+                             "literal — the fault-spec grammar and the "
+                             "uniqueness check index sites by text")
+                continue
+            name = m.group(1)
+            if not self.logical.startswith("src/"):
+                self._report(idx, "fault-point",
+                             f'CCS_FAULT_POINT("{name}") outside src/ — '
+                             "fault points belong in production stage code, "
+                             "not tests or tools")
+                continue
+            if name in seen:
+                self._report(idx, "fault-point",
+                             f'duplicate fault point "{name}" (first at '
+                             f"line {seen[name]}) — hit ordinals must "
+                             "identify exactly one site")
+                continue
+            seen[name] = idx
+            self.fault_points.append((idx, name))
 
     def _lint_tokens(self):
         spawn_ok = self.logical.endswith(THREAD_SPAWN_FILES)
@@ -513,7 +559,7 @@ def lint_file(path, logical_path=None):
                 break
     linter = FileLinter(path, logical, raw)
     findings = linter.run()
-    return findings, linter.allows
+    return findings, linter.allows, linter.fault_points
 
 
 def default_targets(root):
@@ -544,7 +590,7 @@ def run_self_test(root):
         for idx, line in enumerate(raw, start=1):
             for m in EXPECT_RE.finditer(line):
                 expected.add((idx, m.group(1)))
-        findings, _ = lint_file(path)
+        findings, _, _ = lint_file(path)
         got = {(f.line, f.rule) for f in findings}
         if got != expected:
             failures += 1
@@ -593,11 +639,22 @@ def main(argv):
 
     all_findings = []
     all_allows = []
+    site_index = {}  # fault-point name -> (path, line) of first sighting.
     for path in targets:
-        findings, allows = lint_file(path, logical_path=os.path.relpath(
-            os.path.abspath(path), root))
+        findings, allows, fault_points = lint_file(
+            path, logical_path=os.path.relpath(os.path.abspath(path), root))
         all_findings.extend(findings)
         all_allows.extend((path, a) for a in allows)
+        for line, name in fault_points:
+            if name in site_index:
+                first_path, first_line = site_index[name]
+                all_findings.append(Finding(
+                    path, line, "fault-point",
+                    f'duplicate fault point "{name}" — already defined at '
+                    f"{first_path}:{first_line}; names are global, pick a "
+                    "new one"))
+            else:
+                site_index[name] = (path, line)
 
     for finding in all_findings:
         print(finding)

@@ -13,6 +13,9 @@
 //                   [--slide M] [--threshold T] [--refresh-every K]
 //                   [--threads N] [--json] [--stats] [--trace out.json]
 //                   [--metrics-json] [--heartbeat N]
+//                   [--checkpoint ckpt [--checkpoint-every K] [--resume]]
+//                   [--faults spec.json|'{...}'] [--ingest-policy P]
+//                   [--window-policy P] [--score-policy P]
 //       Tail a CSV stream through the pipelined serving engine: one
 //       score line per window (CSV or JSON lines), alarms when a window
 //       exceeds the threshold (exit code 2 if any fired), optional
@@ -27,6 +30,17 @@
 //       --heartbeat emits a progress line to stderr every N windows
 //       (window-count based, so output is deterministic). See
 //       docs/observability.md.
+//       Robustness (docs/robustness.md): --checkpoint writes resumable
+//       state every --checkpoint-every consumed windows (and at end of
+//       run); --resume continues from that file after a crash, with the
+//       resumed alarm trace bitwise identical to the uninterrupted run.
+//       --faults arms the deterministic fault injector from a JSON spec
+//       (a file path or an inline '{...}' literal); the per-stage
+//       --*-policy flags take "fail-fast" (default), "quarantine",
+//       "retry:N", or "retry:N+quarantine". SIGINT/SIGTERM drain
+//       in-flight windows, write the final checkpoint, and exit 3.
+//       Exit codes: 0 clean, 1 error, 2 alarms fired, 3 stopped by
+//       signal (see README).
 //   ccsynth explain <train.csv> <serving.csv>
 //       Per-attribute responsibility for serving non-conformance.
 //   ccsynth diff    <a.csv> <b.csv>
@@ -47,6 +61,8 @@
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -56,6 +72,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -67,7 +84,9 @@
 #include "dataframe/csv.h"
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
+#include "stream/checkpoint.h"
 #include "stream/pipeline.h"
+#include "stream/supervisor.h"
 
 namespace {
 
@@ -90,6 +109,10 @@ int Usage() {
                "           [--slide M] [--threshold T] [--refresh-every K]\n"
                "           [--threads N] [--json] [--stats]\n"
                "           [--trace out.json] [--metrics-json] [--heartbeat N]\n"
+               "           [--checkpoint ckpt [--checkpoint-every K]\n"
+               "           [--resume]] [--faults spec.json|'{...}']\n"
+               "           [--ingest-policy P] [--window-policy P]\n"
+               "           [--score-policy P]\n"
                "  explain  <train.csv> <serving.csv>\n"
                "  diff     <a.csv> <b.csv>\n"
                "  gauntlet [--scenario <name|spec.json>] [--seed N]\n"
@@ -102,6 +125,12 @@ int Usage() {
 StatusOr<dataframe::DataFrame> Load(const std::string& path) {
   return dataframe::ReadCsvFile(path);
 }
+
+// SIGINT/SIGTERM raise the pipeline's stop flag; the run drains and
+// exits 3. async-signal-safe: a lone atomic store.
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true); }
 
 int RunLearn(const std::vector<std::string>& args) {
   std::string train_path, out_path;
@@ -217,10 +246,11 @@ int RunDrift(const std::vector<std::string>& args) {
 }
 
 int RunMonitor(const std::vector<std::string>& args) {
-  std::string reference_path, stream_path, trace_path;
+  std::string reference_path, stream_path, trace_path, faults_arg;
   bool emit_json = false;
   bool emit_stats = false;
   bool emit_metrics_json = false;
+  bool resume = false;
   size_t heartbeat = 0;
   stream::StreamPipelineOptions options;
   options.alarm_threshold = 0.05;
@@ -267,6 +297,30 @@ int RunMonitor(const std::vector<std::string>& args) {
         return Fail(Status::InvalidArgument("bad --heartbeat"));
       }
       heartbeat = static_cast<size_t>(*n);
+    } else if (const std::string* v = flag_value("--checkpoint")) {
+      options.checkpoint_path = *v;
+    } else if (const std::string* v = flag_value("--checkpoint-every")) {
+      auto n = ParseInt(*v);
+      if (!n.has_value() || *n < 0) {
+        return Fail(Status::InvalidArgument("bad --checkpoint-every"));
+      }
+      options.checkpoint_every = static_cast<size_t>(*n);
+    } else if (const std::string* v = flag_value("--faults")) {
+      faults_arg = *v;
+    } else if (const std::string* v = flag_value("--ingest-policy")) {
+      auto policy = stream::FailurePolicy::Parse(*v);
+      if (!policy.ok()) return Fail(policy.status());
+      options.ingest_policy = *policy;
+    } else if (const std::string* v = flag_value("--window-policy")) {
+      auto policy = stream::FailurePolicy::Parse(*v);
+      if (!policy.ok()) return Fail(policy.status());
+      options.window_policy = *policy;
+    } else if (const std::string* v = flag_value("--score-policy")) {
+      auto policy = stream::FailurePolicy::Parse(*v);
+      if (!policy.ok()) return Fail(policy.status());
+      options.score_policy = *policy;
+    } else if (args[i] == "--resume") {
+      resume = true;
     } else if (args[i] == "--json") {
       emit_json = true;
     } else if (args[i] == "--stats") {
@@ -281,6 +335,9 @@ int RunMonitor(const std::vector<std::string>& args) {
     }
   }
   if (reference_path.empty() || stream_path.empty()) return Usage();
+  if (resume && options.checkpoint_path.empty()) {
+    return Fail(Status::InvalidArgument("--resume requires --checkpoint"));
+  }
   // Tail semantics: parse no coarser than the window step, so on a live
   // stream the first score appears as soon as its window is complete
   // instead of after a full default-sized ingest chunk.
@@ -288,10 +345,62 @@ int RunMonitor(const std::vector<std::string>& args) {
                                         : options.slide_rows;
   options.chunk_rows = std::min(options.chunk_rows, step);
 
+  // Graceful shutdown: the first SIGINT/SIGTERM drains rather than
+  // kills. SA_RESETHAND restores the default disposition after it, so a
+  // second signal terminates outright — the escape hatch when ingest is
+  // blocked on a silent stream that never yields the flag check.
+  // Installed before Create because options are copied there.
+  options.stop = &g_stop;
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  if (!faults_arg.empty()) {
+    // An inline '{...}' literal or a spec file path.
+    std::string text = faults_arg;
+    if (!StartsWith(faults_arg, "{")) {
+      std::ifstream spec_file(faults_arg);
+      if (!spec_file) {
+        return Fail(Status::IoError("cannot read " + faults_arg));
+      }
+      std::ostringstream buffer;
+      buffer << spec_file.rdbuf();
+      text = buffer.str();
+    }
+    auto fault_spec = common::fault::ParseFaultSpecJson(text);
+    if (!fault_spec.ok()) return Fail(fault_spec.status());
+    Status armed =
+        common::fault::Injector::Global().Arm(std::move(*fault_spec));
+    if (!armed.ok()) return Fail(armed);
+  }
+
   auto reference = Load(reference_path);
   if (!reference.ok()) return Fail(reference.status());
   auto pipeline = stream::StreamPipeline::Create(*reference, options);
   if (!pipeline.ok()) return Fail(pipeline.status());
+
+  if (resume) {
+    auto checkpoint = stream::ReadCheckpointFile(options.checkpoint_path);
+    if (checkpoint.ok()) {
+      Status restored = pipeline->Restore(*checkpoint);
+      if (!restored.ok()) return Fail(restored);
+      std::fprintf(stderr,
+                   "ccsynth: resumed from %s (windows=%zu rows=%zu "
+                   "refreshes=%zu)\n",
+                   options.checkpoint_path.c_str(),
+                   checkpoint->windows_committed, checkpoint->rows_consumed,
+                   checkpoint->refreshes);
+    } else if (checkpoint.status().code() == StatusCode::kNotFound) {
+      // First run: nothing to resume, start fresh.
+      std::fprintf(stderr, "ccsynth: no checkpoint at %s, starting fresh\n",
+                   options.checkpoint_path.c_str());
+    } else {
+      return Fail(checkpoint.status());
+    }
+  }
 
   std::ifstream file;
   if (stream_path != "-") {
@@ -339,7 +448,17 @@ int RunMonitor(const std::vector<std::string>& args) {
                  static_cast<unsigned long long>(session->dropped()));
     session.reset();
   }
-  if (!stats.ok()) return Fail(stats.status());
+  if (!stats.ok()) {
+    // Partial progress still reaches the operator: the run failed, but
+    // the stats describe how far it got (the satellite fix — the old
+    // StatusOr return dropped them).
+    std::fprintf(stderr,
+                 "ccsynth: failed after %zu rows, %zu windows, %zu alarms "
+                 "(%zu quarantined rows, %zu retries)\n",
+                 stats->rows_ingested, stats->windows_scored, stats->alarms,
+                 stats->rows_quarantined, stats->retries);
+    return Fail(stats.status);
+  }
 
   std::fprintf(stderr,
                "ccsynth: %zu rows -> %zu windows, %zu alarms, %zu refreshes "
@@ -347,6 +466,18 @@ int RunMonitor(const std::vector<std::string>& args) {
                stats->rows_ingested, stats->windows_scored, stats->alarms,
                stats->refreshes, stats->rows_per_second,
                stats->chunk_queue_peak, stats->window_queue_peak);
+  if (stats->rows_quarantined != 0 || stats->windows_quarantined != 0 ||
+      stats->retries != 0 || stats->faults_injected != 0) {
+    std::fprintf(stderr,
+                 "ccsynth: degraded: %zu rows quarantined, %zu windows "
+                 "quarantined, %zu retries, %zu faults injected\n",
+                 stats->rows_quarantined, stats->windows_quarantined,
+                 stats->retries, stats->faults_injected);
+  }
+  if (stats->checkpoints_written != 0) {
+    std::fprintf(stderr, "ccsynth: wrote %zu checkpoint(s) to %s\n",
+                 stats->checkpoints_written, options.checkpoint_path.c_str());
+  }
   if (emit_stats) {
     // The allocation-free-windowing confirmation: each emitted window
     // copies exactly window_rows rows out of the rolling buffer, and
@@ -374,6 +505,13 @@ int RunMonitor(const std::vector<std::string>& args) {
     // Last stderr line of the run: the registry the pipeline itself
     // reported into, so it cannot disagree with the --stats numbers.
     std::fprintf(stderr, "%s\n", obs::Registry::Global().ToJson().c_str());
+  }
+  if (stats->stopped) {
+    // Distinct from both "clean" and "alarms fired": the operator asked
+    // the run to end early and it drained. Takes precedence over 2 —
+    // the alarm count above is from a cut-short stream.
+    std::fprintf(stderr, "ccsynth: stopped by signal (drained cleanly)\n");
+    return 3;
   }
   return stats->alarms > 0 ? 2 : 0;
 }

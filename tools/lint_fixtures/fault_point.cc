@@ -1,0 +1,34 @@
+// ccs-lint-fixture-path: src/example/fault_point.cc
+// Seeded violations for the fault-point rule: CCS_FAULT_POINT names are
+// inline string literals, unique per file (cross-file uniqueness is
+// checked at aggregation in main(), which one fixture cannot prove).
+
+namespace fixture {
+
+int FineLiteralPoint() {
+  CCS_FAULT_POINT("example.read");
+  return 0;
+}
+
+int NonLiteralName(const char* name) {
+  CCS_FAULT_POINT(name);  // EXPECT-LINT: fault-point
+  return 0;
+}
+
+int ConcatenatedName() {
+  CCS_FAULT_POINT("example." + stage);  // EXPECT-LINT: fault-point
+  return 0;
+}
+
+int DuplicateInFile() {
+  CCS_FAULT_POINT("example.read");  // EXPECT-LINT: fault-point
+  return 0;
+}
+
+int MentionsTheMacroOnlyInComments() {
+  // Discussing CCS_FAULT_POINT("in.a.comment") is fine; the linter
+  // strips comments before matching tokens.
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Seeded violation for the fault-point scope facet: this fixture keeps
+// its own (tools/) path, and fault points are confined to src/ — a
+// point in tests or tools would register hit ordinals that production
+// runs never see.
+
+namespace fixture {
+
+int ProbeOutsideSrc() {
+  CCS_FAULT_POINT("probe.read");  // EXPECT-LINT: fault-point
+  return 0;
+}
+
+int AllowedOutsideSrc() {
+  // ccs-lint: allow(fault-point): fixture demo of an explained probe
+  CCS_FAULT_POINT("probe.write");
+  return 0;
+}
+
+}  // namespace fixture
