@@ -21,6 +21,8 @@ StatusOr<NonConformanceExplainer> NonConformanceExplainer::FromTrainingData(
   CCS_ASSIGN_OR_RETURN(SimpleConstraint constraint,
                        synthesizer.SynthesizeSimple(training));
   std::vector<std::string> names = training.NumericNames();
+  // ccs-lint: allow(matrix-materialize): cold one-time fit — per-column
+  // Mean() wants Matrix::Col; runs once per explainer, never per window.
   CCS_ASSIGN_OR_RETURN(linalg::Matrix data, training.NumericMatrixFor(names));
   linalg::Vector means(names.size());
   for (size_t j = 0; j < names.size(); ++j) means[j] = data.Col(j).Mean();
@@ -88,8 +90,10 @@ NonConformanceExplainer::ExplainDataset(
   if (serving.num_rows() == 0) {
     return Status::InvalidArgument("ExplainDataset: empty dataset");
   }
-  CCS_ASSIGN_OR_RETURN(linalg::Matrix data,
-                       serving.NumericMatrixFor(names_));
+  // ccs-lint: allow(matrix-materialize): cold diagnostic path — the
+  // greedy per-tuple explanation needs Matrix::Row vectors, and
+  // explanations are human-driven, not per-window.
+  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, serving.NumericMatrixFor(names_));
   std::vector<AttributeResponsibility> acc(names_.size());
   for (size_t j = 0; j < names_.size(); ++j) acc[j].attribute = names_[j];
   for (size_t i = 0; i < data.rows(); ++i) {

@@ -2,6 +2,72 @@
 
 namespace ccs::core {
 
+std::vector<std::string> ExpandedNames(
+    const std::vector<std::string>& numeric,
+    const PolynomialExpansionOptions& options) {
+  const size_t m = numeric.size();
+  std::vector<std::string> names;
+  if (options.keep_linear) {
+    for (size_t j = 0; j < m; ++j) names.push_back(numeric[j]);
+  }
+  if (options.include_squares) {
+    for (size_t j = 0; j < m; ++j) names.push_back(numeric[j] + "^2");
+  }
+  if (options.include_cross_terms) {
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t k = j + 1; k < m; ++k) {
+        names.push_back(numeric[j] + "*" + numeric[k]);
+      }
+    }
+  }
+  return names;
+}
+
+std::vector<dataframe::ColumnExpr> ExpansionExprs(
+    const std::vector<std::string>& numeric,
+    const PolynomialExpansionOptions& options) {
+  const size_t m = numeric.size();
+  std::vector<dataframe::ColumnExpr> exprs;
+  if (options.keep_linear) {
+    for (size_t j = 0; j < m; ++j) {
+      exprs.push_back(dataframe::ColumnExpr::Source(numeric[j]));
+    }
+  }
+  if (options.include_squares) {
+    for (size_t j = 0; j < m; ++j) {
+      exprs.push_back(dataframe::ColumnExpr::Product(numeric[j], numeric[j]));
+    }
+  }
+  if (options.include_cross_terms) {
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t k = j + 1; k < m; ++k) {
+        exprs.push_back(
+            dataframe::ColumnExpr::Product(numeric[j], numeric[k]));
+      }
+    }
+  }
+  return exprs;
+}
+
+StatusOr<ExpandedView> ExpandPolynomialView(
+    const dataframe::DataFrame& df,
+    const PolynomialExpansionOptions& options) {
+  std::vector<std::string> numeric = df.NumericNames();
+  if (numeric.empty()) {
+    return Status::InvalidArgument(
+        "ExpandPolynomial: no numeric attributes to expand");
+  }
+  ExpandedView out;
+  out.names = ExpandedNames(numeric, options);
+  if (out.names.empty()) {
+    return Status::InvalidArgument(
+        "ExpandPolynomial: options produced an empty expansion");
+  }
+  CCS_ASSIGN_OR_RETURN(out.view,
+                       df.DerivedViewFor(ExpansionExprs(numeric, options)));
+  return out;
+}
+
 StatusOr<dataframe::DataFrame> ExpandPolynomial(
     const dataframe::DataFrame& df,
     const PolynomialExpansionOptions& options) {
@@ -10,39 +76,20 @@ StatusOr<dataframe::DataFrame> ExpandPolynomial(
     return Status::InvalidArgument(
         "ExpandPolynomial: no numeric attributes to expand");
   }
-  // Walk the source columns in place (zero-copy even for view frames);
-  // only the expanded output columns are materialized.
-  CCS_ASSIGN_OR_RETURN(linalg::MatrixView data, df.NumericViewFor(numeric));
+  // Materialize each expanded column through the lazy view's compiled
+  // kernels: the only difference from ExpandPolynomialView is WHERE the
+  // cells land (owned buffers vs. kernel scratch), never their bits.
+  const std::vector<std::string> names = ExpandedNames(numeric, options);
+  const std::vector<dataframe::ColumnExpr> exprs =
+      ExpansionExprs(numeric, options);
+  CCS_ASSIGN_OR_RETURN(linalg::MatrixView view, df.DerivedViewFor(exprs));
   const size_t n = df.num_rows();
-  const size_t m = numeric.size();
 
   dataframe::DataFrame out;
-  if (options.keep_linear) {
-    for (size_t j = 0; j < m; ++j) {
-      std::vector<double> col(n);
-      for (size_t i = 0; i < n; ++i) col[i] = data.At(i, j);
-      CCS_RETURN_IF_ERROR(out.AddNumericColumn(numeric[j], std::move(col)));
-    }
-  }
-  if (options.include_squares) {
-    for (size_t j = 0; j < m; ++j) {
-      std::vector<double> col(n);
-      for (size_t i = 0; i < n; ++i) col[i] = data.At(i, j) * data.At(i, j);
-      CCS_RETURN_IF_ERROR(
-          out.AddNumericColumn(numeric[j] + "^2", std::move(col)));
-    }
-  }
-  if (options.include_cross_terms) {
-    for (size_t j = 0; j < m; ++j) {
-      for (size_t k = j + 1; k < m; ++k) {
-        std::vector<double> col(n);
-        for (size_t i = 0; i < n; ++i) {
-          col[i] = data.At(i, j) * data.At(i, k);
-        }
-        CCS_RETURN_IF_ERROR(out.AddNumericColumn(
-            numeric[j] + "*" + numeric[k], std::move(col)));
-      }
-    }
+  for (size_t j = 0; j < names.size(); ++j) {
+    std::vector<double> col(n);
+    view.MaterializeColumn(j, col.data());
+    CCS_RETURN_IF_ERROR(out.AddNumericColumn(names[j], std::move(col)));
   }
   // Categorical attributes pass through for disjunctive synthesis,
   // sharing the source column's buffers (zero copy).

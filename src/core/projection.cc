@@ -39,8 +39,20 @@ linalg::Vector Projection::EvaluateAllAligned(
 
 StatusOr<linalg::Vector> Projection::EvaluateAll(
     const dataframe::DataFrame& df) const {
-  CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names_));
-  return EvaluateAllAligned(data);
+  // Lazy path: one derived kCombine column over the named attributes,
+  // evaluated by the shared EvalCombineColumn kernel straight into the
+  // result vector — the n x k matrix this used to materialize through
+  // NumericMatrixFor is gone. Term order (ascending j, value *
+  // coefficient, seeded from 0.0) matches per-row Evaluate and the
+  // aligned mat-vec kernels, so finite-data results are bitwise
+  // identical to the old data.Multiply(coefficients_) route (see
+  // docs/architecture.md, "Derived columns").
+  const std::vector<dataframe::ColumnExpr> exprs = {
+      dataframe::ColumnExpr::Combine(names_, &coefficients_.data())};
+  CCS_ASSIGN_OR_RETURN(linalg::MatrixView view, df.DerivedViewFor(exprs));
+  linalg::Vector out(view.rows());
+  view.MaterializeColumn(0, out.data().data());
+  return out;
 }
 
 StatusOr<Projection> Projection::Normalized() const {

@@ -29,6 +29,8 @@ StatusOr<ConstraintRepairer> ConstraintRepairer::FromTrainingData(
   CCS_ASSIGN_OR_RETURN(SimpleConstraint constraint,
                        synthesizer.SynthesizeSimple(training));
   std::vector<std::string> names = training.NumericNames();
+  // ccs-lint: allow(matrix-materialize): cold one-time fit — per-column
+  // Mean() wants Matrix::Col; runs once per repairer, never per window.
   CCS_ASSIGN_OR_RETURN(linalg::Matrix data, training.NumericMatrixFor(names));
   linalg::Vector means(names.size());
   for (size_t j = 0; j < names.size(); ++j) means[j] = data.Col(j).Mean();
@@ -80,6 +82,9 @@ StatusOr<std::vector<CellError>> ConstraintRepairer::DetectErrors(
   if (threshold < 0.0 || threshold > 1.0) {
     return Status::InvalidArgument("DetectErrors: threshold must be in [0,1]");
   }
+  // ccs-lint: allow(matrix-materialize): cold repair path — the
+  // cell-blame search mutates per-row tuple copies (Matrix::Row), and
+  // repair is batch cleaning, not streaming scoring.
   CCS_ASSIGN_OR_RETURN(linalg::Matrix data, df.NumericMatrixFor(names_));
   std::vector<CellError> out;
   for (size_t i = 0; i < data.rows(); ++i) {

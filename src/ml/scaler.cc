@@ -25,10 +25,18 @@ StatusOr<linalg::Matrix> StandardScaler::Transform(
     return Status::InvalidArgument("StandardScaler: width mismatch");
   }
   linalg::Matrix out = data;
-  for (size_t i = 0; i < out.rows(); ++i) {
-    for (size_t j = 0; j < out.cols(); ++j) {
-      out.At(i, j) = (out.At(i, j) - means_[j]) / stddevs_[j];
-    }
+  const size_t n = out.rows();
+  const size_t m = out.cols();
+  if (n == 0 || m == 0) return out;
+  // Column-at-a-time through the shared scale kernel, striding down the
+  // row-major storage — the same compiled loop the lazy TransformView
+  // runs, so materialized and lazy scaling cannot diverge bitwise.
+  for (size_t j = 0; j < m; ++j) {
+    linalg::internal::EvalScaleColumn(data.data().data() + j, m,
+                                      /*selection=*/nullptr,
+                                      /*row_indices=*/nullptr, 0, n,
+                                      means_[j], stddevs_[j], &out.At(0, j),
+                                      m);
   }
   return out;
 }
@@ -38,11 +46,42 @@ StatusOr<linalg::Vector> StandardScaler::Transform(
   if (row.size() != means_.size()) {
     return Status::InvalidArgument("StandardScaler: width mismatch");
   }
-  linalg::Vector out = row;
-  for (size_t j = 0; j < out.size(); ++j) {
-    out[j] = (out[j] - means_[j]) / stddevs_[j];
+  // One kernel call per element (each has its own mean/stddev): a row
+  // is a height-1 slice of every column. Cold path — tuples, not
+  // batches — so the per-call overhead is irrelevant next to keeping
+  // one compiled copy of the transform.
+  linalg::Vector out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    linalg::internal::EvalScaleColumn(&row.data()[j], 1,
+                                      /*selection=*/nullptr,
+                                      /*row_indices=*/nullptr, 0, 1,
+                                      means_[j], stddevs_[j], &out[j], 1);
   }
   return out;
+}
+
+StatusOr<std::vector<dataframe::ColumnExpr>> StandardScaler::ScaleExprs(
+    const std::vector<std::string>& names) const {
+  if (names.size() != means_.size()) {
+    return Status::InvalidArgument("StandardScaler: width mismatch");
+  }
+  std::vector<dataframe::ColumnExpr> exprs;
+  exprs.reserve(names.size());
+  for (size_t j = 0; j < names.size(); ++j) {
+    exprs.push_back(
+        dataframe::ColumnExpr::Scale(names[j], means_[j], stddevs_[j]));
+  }
+  return exprs;
+}
+
+StatusOr<linalg::MatrixView> StandardScaler::TransformView(
+    const dataframe::DataFrame& df,
+    const std::vector<std::string>& names) const {
+  CCS_ASSIGN_OR_RETURN(std::vector<dataframe::ColumnExpr> exprs,
+                       ScaleExprs(names));
+  // The expressions bake buffer pointers and scale parameters into the
+  // view; the view borrows only `df`'s storage, not `exprs`.
+  return df.DerivedViewFor(exprs);
 }
 
 }  // namespace ccs::ml

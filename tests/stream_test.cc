@@ -797,6 +797,65 @@ TEST_F(StreamPipelineTest, MatchesSerialLoopWithSlideAndRefresh) {
   }
 }
 
+TEST_F(StreamPipelineTest, ExpandPolynomialOptInMatchesSerialExpandedLoop) {
+  // The opt-in lazy expansion: the monitor scores each window through a
+  // derived degree-2 view and the refresh profile derives the expanded
+  // columns inside its Gram walk — no expanded frame is ever built. The
+  // pipeline must match a serial loop running the same expanded monitor
+  // and WithExpansion refresh cadence, bitwise, at 1 and 4 lanes.
+  DataFrame reference = TrendFrame(300, 0.0, 40);
+  std::string csv_text = ToCsv(TrendFrame(600, 5.0, 41, /*drift_from=*/300));
+
+  StreamPipelineOptions options;
+  options.window_rows = 60;
+  options.alarm_threshold = 0.25;
+  options.refresh_every = 3;
+  options.chunk_rows = 41;
+  options.queue_capacity = 2;
+  options.max_batch_windows = 4;
+  options.expand_polynomial = true;
+
+  auto monitor =
+      StreamMonitor::Create(reference, options.alarm_threshold,
+                            options.synthesis, &options.expansion);
+  ASSERT_TRUE(monitor.ok()) << monitor.status();
+  auto profile = IncrementalSynthesizer::WithExpansion(
+      reference.NumericNames(), options.expansion, options.synthesis);
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  ASSERT_TRUE(profile->ObserveAll(reference).ok());
+  std::istringstream serial_in(csv_text);
+  auto stream_df = dataframe::ReadCsv(serial_in);
+  ASSERT_TRUE(stream_df.ok());
+  auto windower = Windower::Create(options.window_rows, options.slide_rows);
+  ASSERT_TRUE(windower.ok());
+  auto windows = windower->Push(*stream_df);
+  ASSERT_TRUE(windows.ok());
+  size_t scored = 0;
+  for (const DataFrame& window : *windows) {
+    ASSERT_TRUE(monitor->ObserveWindow(window).ok());
+    ++scored;
+    ASSERT_TRUE(profile->ObserveAll(window).ok());
+    if (scored % options.refresh_every == 0) {
+      auto refreshed = profile->Synthesize();
+      ASSERT_TRUE(refreshed.ok());
+      ASSERT_TRUE(monitor->RefreshReference(*refreshed).ok());
+    }
+  }
+  std::vector<WindowScore> serial = monitor->history();
+  ASSERT_FALSE(serial.empty());
+
+  for (size_t threads : {1u, 4u}) {
+    options.num_threads = threads;
+    auto pipeline = StreamPipeline::Create(reference, options);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+    std::istringstream in(csv_text);
+    auto stats = pipeline->Run(in);
+    ASSERT_TRUE(stats.ok()) << stats.status;
+    EXPECT_GT(stats->refreshes, 0u);
+    ExpectHistoriesBitwiseEqual(pipeline->history(), serial);
+  }
+}
+
 TEST_F(StreamPipelineTest, TracingOnVsOffBitwise) {
   // The observability contract: an active ObsSession records spans and
   // queue waits strictly out-of-band, so scored output is bitwise

@@ -18,9 +18,14 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "core/constraint.h"
+#include "core/drift.h"
+#include "core/kernel.h"
+#include "core/monitor.h"
+#include "core/projection.h"
 #include "core/synthesizer.h"
 #include "dataframe/csv.h"
 #include "dataframe/dataframe.h"
+#include "ml/scaler.h"
 
 namespace ccs::dataframe {
 namespace {
@@ -365,6 +370,170 @@ TEST(ViewEquivalenceTest, ViolationAllOnViewsBitwiseMatchesMaterialized) {
       EXPECT_TRUE(BitsEqual((*v_view)[i], (*v_flat)[i]))
           << "row " << i << " threads " << threads;
     }
+  }
+  common::SetDefaultThreadCount(0);
+}
+
+// ------------------- derived-column pipelines --------------------------
+//
+// The lazy derived-column paths (ExpandPolynomialView, TransformView,
+// Projection::EvaluateAll, FitExpanded, WithExpansion) must be bitwise
+// indistinguishable from materializing the expanded/scaled frame first:
+// both sides funnel every cell through the same compiled Eval*Column
+// kernels, so not a single bit may move — at any thread count.
+
+bool BitsEqualScalar(double a, double b) { return BitsEqual(a, b); }
+
+void ExpectVectorsBitwiseEqual(const linalg::Vector& a,
+                               const linalg::Vector& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(BitsEqual(a[i], b[i])) << "index " << i;
+  }
+}
+
+TEST(DerivedPipelineTest, LazyExpansionBitwiseMatchesMaterialized) {
+  DataFrame df = MakeFrame(400, 20);
+  for (size_t threads : {1u, 4u}) {
+    common::SetDefaultThreadCount(threads);
+    auto lazy = core::ExpandPolynomialView(df);
+    auto flat = core::ExpandPolynomial(df);
+    ASSERT_TRUE(lazy.ok()) << lazy.status();
+    ASSERT_TRUE(flat.ok()) << flat.status();
+    // Same schema, same bits: the lazy view gathers what the
+    // materialized frame stores.
+    EXPECT_EQ(lazy->names, flat->NumericNames());
+    auto matrix = flat->NumericMatrixFor(lazy->names);
+    ASSERT_TRUE(matrix.ok());
+    ExpectMatricesBitwiseEqual(lazy->view.ToMatrix(), *matrix);
+    // Synthesis straight from the derived view vs. over the expanded
+    // frame: identical constraints, conjunct by conjunct.
+    core::Synthesizer synthesizer;
+    auto from_view =
+        synthesizer.SynthesizeSimpleFromView(lazy->names, lazy->view);
+    auto from_flat = synthesizer.SynthesizeSimple(*flat);
+    ASSERT_TRUE(from_view.ok()) << from_view.status();
+    ASSERT_TRUE(from_flat.ok()) << from_flat.status();
+    EXPECT_TRUE(core::ConstraintsBitwiseEqual(*from_view, *from_flat))
+        << "threads=" << threads;
+  }
+  common::SetDefaultThreadCount(0);
+}
+
+TEST(DerivedPipelineTest, ProjectionEvaluateAllMatchesAlignedKernel) {
+  DataFrame df = MakeFrame(350, 21);
+  std::vector<std::string> names = {"x", "y", "z"};
+  auto projection =
+      core::Projection::Create(names, linalg::Vector({0.75, -0.5, 0.25}));
+  ASSERT_TRUE(projection.ok());
+  auto matrix = df.NumericMatrixFor(names);
+  ASSERT_TRUE(matrix.ok());
+  // Finite data: the lazy Combine kernel and the materialized
+  // matrix-multiply kernel run the same accumulation order (ascending
+  // term index, multiply-then-add, no FMA), so the bits agree even
+  // though they are separately compiled.
+  linalg::Vector aligned = projection->EvaluateAllAligned(*matrix);
+  DataFrame view = df.Filter([](size_t i) { return i % 3 != 1; });
+  auto view_matrix = view.NumericMatrixFor(names);
+  ASSERT_TRUE(view_matrix.ok());
+  linalg::Vector view_aligned = projection->EvaluateAllAligned(*view_matrix);
+  for (size_t threads : {1u, 4u}) {
+    common::SetDefaultThreadCount(threads);
+    auto lazy = projection->EvaluateAll(df);
+    ASSERT_TRUE(lazy.ok()) << lazy.status();
+    ExpectVectorsBitwiseEqual(*lazy, aligned);
+    auto lazy_view = projection->EvaluateAll(view);
+    ASSERT_TRUE(lazy_view.ok());
+    ExpectVectorsBitwiseEqual(*lazy_view, view_aligned);
+  }
+  common::SetDefaultThreadCount(0);
+}
+
+TEST(DerivedPipelineTest, ScalerTransformViewBitwiseMatchesTransform) {
+  DataFrame df = MakeFrame(300, 22);
+  std::vector<std::string> names = {"z", "x", "y"};  // Reordered subset.
+  auto matrix = df.NumericMatrixFor(names);
+  ASSERT_TRUE(matrix.ok());
+  auto scaler = ml::StandardScaler::Fit(*matrix);
+  ASSERT_TRUE(scaler.ok());
+  auto flat = scaler->Transform(*matrix);
+  ASSERT_TRUE(flat.ok());
+  auto view = scaler->TransformView(df, names);
+  ASSERT_TRUE(view.ok()) << view.status();
+  ExpectMatricesBitwiseEqual(view->ToMatrix(), *flat);
+  // The same lazy transform composed over a view-of-a-view frame.
+  DataFrame sliced = df.Slice(40, 260).Filter(
+      [](size_t i) { return i % 2 == 0; });
+  auto sliced_matrix = sliced.NumericMatrixFor(names);
+  ASSERT_TRUE(sliced_matrix.ok());
+  auto sliced_flat = scaler->Transform(*sliced_matrix);
+  ASSERT_TRUE(sliced_flat.ok());
+  auto sliced_view = scaler->TransformView(sliced, names);
+  ASSERT_TRUE(sliced_view.ok());
+  ExpectMatricesBitwiseEqual(sliced_view->ToMatrix(), *sliced_flat);
+}
+
+TEST(DerivedPipelineTest, ExpandedDriftScoringBitwiseMatchesMaterialized) {
+  DataFrame reference = MakeFrame(500, 23);
+  DataFrame window = MakeFrame(200, 24);
+  core::PolynomialExpansionOptions expansion;
+  for (size_t threads : {1u, 4u}) {
+    common::SetDefaultThreadCount(threads);
+    core::ConformanceDriftQuantifier lazy;
+    ASSERT_TRUE(lazy.FitExpanded(reference, expansion).ok());
+    EXPECT_TRUE(lazy.expanded());
+    // Materialized twin: synthesize on the expanded reference frame and
+    // score the expanded window with the global simple constraint.
+    auto flat_reference = core::ExpandPolynomial(reference, expansion);
+    ASSERT_TRUE(flat_reference.ok());
+    core::Synthesizer synthesizer;
+    auto simple = synthesizer.SynthesizeSimple(*flat_reference);
+    ASSERT_TRUE(simple.ok()) << simple.status();
+    auto flat_window = core::ExpandPolynomial(window, expansion);
+    ASSERT_TRUE(flat_window.ok());
+    auto matrix = flat_window->NumericMatrixFor(simple->attribute_names());
+    ASSERT_TRUE(matrix.ok());
+    linalg::Vector expected = simple->ViolationAllAligned(*matrix);
+    auto tuples = lazy.TupleViolations(window);
+    ASSERT_TRUE(tuples.ok()) << tuples.status();
+    ExpectVectorsBitwiseEqual(*tuples, expected);
+    auto score = lazy.Score(window);
+    ASSERT_TRUE(score.ok());
+    EXPECT_TRUE(BitsEqualScalar(*score, expected.Mean()))
+        << "threads=" << threads;
+  }
+  common::SetDefaultThreadCount(0);
+}
+
+TEST(DerivedPipelineTest, IncrementalExpansionMatchesMaterializedRefresh) {
+  // The streaming-refresh loop: observing raw base frames through the
+  // lazy expansion must synthesize the same bits as materializing
+  // ExpandPolynomial per batch — the allocation the refactor removed.
+  DataFrame batch1 = MakeFrame(300, 25);
+  DataFrame batch2 = MakeFrame(180, 26);
+  std::vector<std::string> base = batch1.NumericNames();
+  core::PolynomialExpansionOptions expansion;
+  std::vector<std::string> expanded_names =
+      core::ExpandedNames(base, expansion);
+  for (size_t threads : {1u, 4u}) {
+    common::SetDefaultThreadCount(threads);
+    auto lazy = core::IncrementalSynthesizer::WithExpansion(base, expansion);
+    ASSERT_TRUE(lazy.ok()) << lazy.status();
+    EXPECT_EQ(lazy->attribute_names(), expanded_names);
+    core::IncrementalSynthesizer flat(expanded_names);
+    for (const DataFrame* batch : {&batch1, &batch2}) {
+      ASSERT_TRUE(lazy->ObserveAll(*batch).ok());
+      auto expanded = core::ExpandPolynomial(*batch, expansion);
+      ASSERT_TRUE(expanded.ok());
+      ASSERT_TRUE(flat.ObserveAll(*expanded).ok());
+    }
+    EXPECT_EQ(lazy->count(), flat.count());
+    auto from_lazy = lazy->Synthesize();
+    auto from_flat = flat.Synthesize();
+    ASSERT_TRUE(from_lazy.ok()) << from_lazy.status();
+    ASSERT_TRUE(from_flat.ok()) << from_flat.status();
+    EXPECT_TRUE(core::ConstraintsBitwiseEqual(*from_lazy, *from_flat))
+        << "threads=" << threads;
   }
   common::SetDefaultThreadCount(0);
 }
